@@ -1,0 +1,71 @@
+"""Experiment E1 — Figure 3(a): runtime scalability.
+
+Reproduces the paper's parallel-runtime and relative-speedup series:
+modeled parallel runtime vs processor count, one series per training-set
+size, on the T3D-like machine model.  Expected shape (paper §5):
+
+* runtime falls with p for every size;
+* relative speedups for a fixed processor-count jump are *larger for
+  larger problems* (computation/communication ratio grows with N/p);
+* curves flatten at large p for small N (overhead-dominated).
+
+The absolute seconds are modeled, not the authors' testbed — EXPERIMENTS.md
+records shape criteria, not absolute matches.
+"""
+
+from __future__ import annotations
+
+from conftest import FIG3_PROCS, FIG3_SIZES, dataset_factory, emit, label_of
+
+from repro import ScalParC
+from repro.analysis import format_series, format_table, speedup_series
+
+
+def test_fig3a_runtime_scalability(benchmark, fig3_grid):
+    # wall-clock benchmark of one representative training run
+    mid = dataset_factory(FIG3_SIZES[1])
+    benchmark.pedantic(
+        lambda: ScalParC(n_processors=8).fit(mid), rounds=1, iterations=1
+    )
+
+    series_t = {}
+    series_s = {}
+    all_series = []
+    for n in FIG3_SIZES:
+        s = speedup_series(fig3_grid, n)
+        all_series.append(s)
+        series_t[label_of(n)] = [f"{t:.3f}" for t in s.parallel_times]
+        series_s[label_of(n)] = [f"{x:.2f}" for x in s.speedups]
+
+    text = format_series(
+        "N \\ p", FIG3_PROCS, series_t,
+        title="Figure 3(a) — modeled parallel runtime (seconds)",
+    )
+    text += "\n\n" + format_series(
+        "N \\ p", FIG3_PROCS, series_s,
+        title="Figure 3(a) — speedup (anchored at the smallest machine)",
+    )
+
+    # the §5-style relative-speedup quotes
+    rows = []
+    for s in all_series:
+        rows.append([
+            label_of(s.n_records),
+            f"{s.relative(8, 32):.2f}",
+            f"{s.relative(32, 128):.2f}",
+        ])
+    text += "\n\n" + format_table(
+        ["N", "rel speedup 8->32", "rel speedup 32->128"], rows,
+        title="Relative speedups (paper quotes these for selected sizes)",
+    )
+    emit("fig3a_runtime", text)
+
+    # ---- shape assertions (the reproduction criteria) -----------------
+    for s in all_series:
+        # runtime drops substantially from the smallest to mid machine
+        assert s.parallel_times[2] < s.parallel_times[0]
+    small, large = all_series[0], all_series[-1]
+    # larger problems sustain better relative speedups up the machine
+    assert large.relative(8, 128) > small.relative(8, 128)
+    # big-N efficiency at moderate p stays high
+    assert large.efficiencies[2] > 0.6

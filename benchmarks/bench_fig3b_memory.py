@@ -1,0 +1,70 @@
+"""Experiment E2 — Figure 3(b): memory scalability.
+
+Reproduces the per-processor memory-requirement series: memory per rank
+vs processor count, one series per training-set size.  Expected shape
+(paper §5):
+
+* at small p, memory per processor drops "by almost a perfect factor of
+  two when the number of processors is doubled";
+* at large p the curves deviate from ideal because "sizes of some of the
+  buffers required for the collective communication operations increase
+  with the increasing number of processors".
+"""
+
+from __future__ import annotations
+
+from conftest import FIG3_PROCS, FIG3_SIZES, dataset_factory, emit, label_of
+
+from repro import ScalParC
+from repro.analysis import format_series, format_table
+
+
+def _memory_series(fig3_grid, n):
+    pts = sorted(
+        (pt for pt in fig3_grid if pt.n_records == n),
+        key=lambda pt: pt.n_processors,
+    )
+    return [pt.stats.memory_per_rank_max for pt in pts]
+
+
+def test_fig3b_memory_scalability(benchmark, fig3_grid):
+    mid = dataset_factory(FIG3_SIZES[1])
+    benchmark.pedantic(
+        lambda: ScalParC(n_processors=16).fit(mid), rounds=1, iterations=1
+    )
+
+    series = {}
+    for n in FIG3_SIZES:
+        mems = _memory_series(fig3_grid, n)
+        series[label_of(n)] = [f"{m / 1024:.0f}" for m in mems]
+    text = format_series(
+        "N \\ p", FIG3_PROCS, series,
+        title="Figure 3(b) — memory required per processor (KiB)",
+    )
+
+    # halving factors, the quantity the paper quotes (e.g. "drops by a
+    # factor of 1.94 going from 8 to 16 processors")
+    rows = []
+    for n in FIG3_SIZES:
+        mems = _memory_series(fig3_grid, n)
+        factors = [mems[i] / mems[i + 1] for i in range(len(mems) - 1)]
+        rows.append([label_of(n)] + [f"{f:.2f}" for f in factors])
+    steps = [f"{a}->{b}" for a, b in zip(FIG3_PROCS, FIG3_PROCS[1:])]
+    text += "\n\n" + format_table(
+        ["N"] + steps, rows,
+        title="Memory halving factor per doubling of p (ideal = 2.00)",
+    )
+    emit("fig3b_memory", text)
+
+    # ---- shape assertions ----------------------------------------------
+    for n in FIG3_SIZES:
+        mems = _memory_series(fig3_grid, n)
+        # near-perfect halving at small p
+        assert mems[0] / mems[1] > 1.7, f"N={n}: first doubling not ~2x"
+        # deviation from ideal at large p (factor visibly below 2)
+        assert mems[-2] / mems[-1] < 1.9, f"N={n}: no large-p deviation"
+    # for the largest problem the p-proportional buffers stay minor:
+    # memory decreases (or holds) across the whole processor axis
+    big = _memory_series(fig3_grid, FIG3_SIZES[-1])
+    for a, b in zip(big, big[1:]):
+        assert b <= a * 1.05

@@ -1,0 +1,77 @@
+"""Three parallel formulations of the same induction, head to head.
+
+ScalParC (horizontal, distributed node table), parallel SPRINT
+(horizontal, replicated table — §3.2's negative result) and SLIQ/R
+(vertical attribute partitioning, replicated class list — the SPRINT
+paper's alternative) all build the identical tree; this bench contrasts
+their per-rank memory, per-rank communication and modeled runtime across
+processor counts, the cost triangle the related-work discussion spans.
+"""
+
+from __future__ import annotations
+
+from conftest import SCALE, dataset_factory, emit
+
+from repro import ScalParC
+from repro.analysis import format_table
+from repro.baselines import ParallelSPRINT, VerticalSliqClassifier
+from repro.core import InductionConfig
+
+N = int(20_000 * SCALE)
+PROCS = [2, 4, 8, 16, 32]
+CONFIG = InductionConfig(max_depth=6)
+
+
+def test_three_formulations(benchmark):
+    ds = dataset_factory(N)
+    benchmark.pedantic(
+        lambda: VerticalSliqClassifier(7, config=CONFIG).fit(ds),
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    results = {}
+    ref_tree = None
+    for p in PROCS:
+        a = ScalParC(p, config=CONFIG).fit(ds)
+        b = ParallelSPRINT(p, config=CONFIG).fit(ds)
+        c = VerticalSliqClassifier(p, config=CONFIG).fit(ds)
+        if ref_tree is None:
+            ref_tree = a.tree
+        assert b.tree.structurally_equal(ref_tree)
+        assert c.tree.structurally_equal(ref_tree)
+        results[p] = (a.stats, b.stats, c.stats)
+        rows.append([
+            p,
+            f"{a.stats.memory_per_rank_max / 1024:.0f}",
+            f"{b.stats.memory_per_rank_max / 1024:.0f}",
+            f"{c.stats.memory_per_rank_max / 1024:.0f}",
+            f"{a.stats.bytes_per_rank_max / 1024:.0f}",
+            f"{b.stats.bytes_per_rank_max / 1024:.0f}",
+            f"{c.stats.bytes_per_rank_max / 1024:.0f}",
+            f"{a.stats.parallel_time:.3f}",
+            f"{b.stats.parallel_time:.3f}",
+            f"{c.stats.parallel_time:.3f}",
+        ])
+    text = format_table(
+        ["p",
+         "Scal mem KiB", "SPRINT mem KiB", "SLIQ/R mem KiB",
+         "Scal comm KiB", "SPRINT comm KiB", "SLIQ/R comm KiB",
+         "Scal T(s)", "SPRINT T(s)", "SLIQ/R T(s)"],
+        rows,
+        title=f"Three formulations, identical {ref_tree.n_nodes}-node tree "
+              f"(Quest F2, N={N}, depth≤6, per-rank costs)",
+    )
+    emit("formulations", text)
+
+    # ---- asymptotic signatures -----------------------------------------
+    scal_mem = [results[p][0].memory_per_rank_max for p in PROCS]
+    sprint_mem = [results[p][1].memory_per_rank_max for p in PROCS]
+    vert_mem = [results[p][2].memory_per_rank_max for p in PROCS]
+    # only ScalParC's memory keeps falling the whole way
+    assert scal_mem[-1] < scal_mem[0] / 8
+    # SPRINT and SLIQ/R have Ω(N) floors (replicated structures)
+    assert sprint_mem[-1] > 4 * N * 0.8
+    assert vert_mem[-1] > 16 * N * 0.8
+    # vertical parallelism stops helping past the attribute count (7)
+    assert vert_mem[-1] == vert_mem[-2]

@@ -1,0 +1,96 @@
+"""Experiment E6 — end-to-end and hot-kernel wall-clock throughput.
+
+§5's headline is that "large classification problems can be solved
+quickly" — here that translates to real (not modeled) wall time of the
+simulated pipeline and of its hot kernels: the gini candidate scan, the
+parallel sample sort, distributed hash-table update/enquire, full
+induction, and vectorized prediction.  These are genuine pytest-benchmark
+measurements (multiple rounds).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import SCALE, dataset_factory
+
+from repro import ScalParC, induce_serial
+from repro.core.criteria import split_score_from_left
+from repro.hashing import DistributedNodeTable
+from repro.runtime import run_spmd
+from repro.sort import parallel_sample_sort
+
+N_KERNEL = int(1_000_000 * SCALE)
+N_TRAIN = int(20_000 * SCALE)
+
+
+def test_gini_scan_throughput(benchmark):
+    """The FindSplitII inner loop: split scores for 1M candidate rows."""
+    rng = np.random.default_rng(0)
+    totals = np.array([N_KERNEL // 2, N_KERNEL - N_KERNEL // 2])
+    left = np.empty((N_KERNEL, 2), dtype=np.int64)
+    left[:, 0] = rng.integers(0, totals[0], N_KERNEL)
+    left[:, 1] = rng.integers(0, totals[1], N_KERNEL)
+    out = benchmark(lambda: split_score_from_left(left, totals))
+    assert out.shape == (N_KERNEL,)
+
+
+def test_sample_sort_wall_time(benchmark):
+    rng = np.random.default_rng(1)
+    n, p = int(200_000 * SCALE), 8
+    values = rng.normal(0, 1, n)
+    rids = np.arange(n, dtype=np.int64)
+    labels = rng.integers(0, 2, n).astype(np.int64)
+    chunk = -(-n // p)
+
+    def run():
+        def worker(comm):
+            lo, hi = comm.rank * chunk, min((comm.rank + 1) * chunk, n)
+            out = parallel_sample_sort(
+                comm, values[lo:hi], labels[lo:hi], rids=rids[lo:hi]
+            )
+            return len(out[0])
+
+        return sum(run_spmd(p, worker))
+
+    assert benchmark(run) == n
+
+
+def test_node_table_update_enquire_wall_time(benchmark):
+    rng = np.random.default_rng(2)
+    n, p = int(200_000 * SCALE), 8
+    keys = rng.permutation(n).astype(np.int64)
+    vals = rng.integers(0, 1000, n).astype(np.int32)
+    chunk = -(-n // p)
+
+    def run():
+        def worker(comm):
+            table = DistributedNodeTable(comm, n)
+            lo, hi = comm.rank * chunk, min((comm.rank + 1) * chunk, n)
+            table.update(keys[lo:hi], vals[lo:hi])
+            got = table.lookup(keys[lo:hi])
+            return int(got.sum())
+
+        return sum(run_spmd(p, worker))
+
+    assert benchmark(run) == int(vals.sum()) * 1  # every pair read back once
+
+
+def test_full_induction_wall_time(benchmark):
+    """End-to-end: presort + level-synchronous induction, 8 ranks."""
+    ds = dataset_factory(N_TRAIN)
+    result = benchmark(lambda: ScalParC(8).fit(ds))
+    assert result.tree.n_nodes > 1
+
+
+def test_serial_reference_wall_time(benchmark):
+    ds = dataset_factory(N_TRAIN)
+    tree = benchmark(lambda: induce_serial(ds))
+    assert tree.n_nodes > 1
+
+
+def test_prediction_throughput(benchmark):
+    train = dataset_factory(5_000)
+    test = dataset_factory(N_KERNEL // 4)
+    tree = induce_serial(train)
+    preds = benchmark(lambda: tree.predict(test))
+    assert len(preds) == test.n_records

@@ -1,0 +1,93 @@
+"""The SLIQ → SPRINT → ScalParC lineage, quantified (§1–§2 narrative).
+
+All three build the *identical* tree; what changed at each step is the
+cost structure:
+
+* **SLIQ** keeps an O(N) memory-resident class list and re-reads every
+  attribute list at every level;
+* **serial SPRINT** drops the class list (classes ride inside the lists)
+  and only re-reads under hash-memory pressure — but its per-node hash
+  table is O(N) at the upper levels;
+* **ScalParC** distributes that table, making splitting-phase memory and
+  traffic O(N/p) per processor.
+
+This bench prints the three cost profiles side by side on one workload.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import SCALE, dataset_factory, emit
+
+from repro import ScalParC
+from repro.analysis import format_table
+from repro.baselines import SliqClassifier, SprintClassifier, induce_serial
+
+N = int(20_000 * SCALE)
+
+
+def test_lineage_costs(benchmark):
+    ds = dataset_factory(N)
+    ref = induce_serial(ds)
+    n_attrs = len(ds.schema)
+
+    t0 = time.perf_counter()
+    sliq_tree, sliq = SliqClassifier().fit(ds)
+    sliq_wall = time.perf_counter() - t0
+
+    budget = N // 10  # memory pressure for SPRINT
+    t0 = time.perf_counter()
+    sprint_tree, sprint = SprintClassifier(
+        memory_budget_entries=budget
+    ).fit(ds)
+    sprint_wall = time.perf_counter() - t0
+
+    _, sprint_unbounded = SprintClassifier().fit(ds)
+
+    t0 = time.perf_counter()
+    scal = ScalParC(8).fit(ds)
+    scal_wall = time.perf_counter() - t0
+
+    benchmark.pedantic(lambda: SliqClassifier().fit(ds),
+                       rounds=1, iterations=1)
+
+    assert sliq_tree.structurally_equal(ref)
+    assert sprint_tree.structurally_equal(ref)
+    assert scal.tree.structurally_equal(ref)
+
+    rows = [
+        ["SLIQ (1996)",
+         f"{sliq.class_list_bytes / 1024:.0f} KiB class list",
+         f"{sliq.entries_scanned:,}",
+         f"{sliq_wall:.2f}"],
+        ["serial SPRINT (unbounded)",
+         f"{N * 8 / 1024:.0f} KiB peak hash table",
+         f"{sprint_unbounded.entries_scanned:,}",
+         "-"],
+        [f"serial SPRINT (budget {budget})",
+         f"{budget * 8 / 1024:.0f} KiB hash table",
+         f"{sprint.entries_scanned:,}",
+         f"{sprint_wall:.2f}"],
+        ["ScalParC (p=8)",
+         f"{scal.stats.memory_per_rank_max / 1024:.0f} KiB / rank",
+         "distributed",
+         f"{scal_wall:.2f}"],
+    ]
+    text = format_table(
+        ["algorithm", "resident memory requirement",
+         "splitting entries read", "host wall (s)"],
+        rows,
+        title=f"Identical trees ({ref.n_nodes} nodes), three cost "
+              f"structures (Quest F2, N={N})",
+    )
+    emit("lineage", text)
+
+    # SLIQ's full-list level scans always read at least as much as SPRINT
+    # with ample memory (which touches only each node's live records);
+    # memory-pressured SPRINT pays re-read multiples on top (§2)
+    assert sliq.entries_scanned >= sprint_unbounded.entries_scanned
+    assert sprint.entries_scanned > sprint_unbounded.entries_scanned
+    # SPRINT traded SLIQ's O(N) resident class list for a (budgetable)
+    # hash table; ScalParC splits everything across ranks
+    assert scal.stats.memory_per_rank_max < N * 7 * 24  # ≪ full data

@@ -1,0 +1,57 @@
+"""Per-phase runtime breakdown (the technical report's companion table).
+
+The paper's Figure 2 decomposes induction into Presort, FindSplitI/II and
+PerformSplitI/II; its accompanying technical report analyses each phase's
+communication. This bench prints how the modeled parallel runtime divides
+across the phases as the processor count grows — expected shape: compute-
+bound phases (FindSplitII's scan) shrink with p while the all-to-all-bound
+splitting phase's relative share grows, since its latency term scales with
+p.
+"""
+
+from __future__ import annotations
+
+from conftest import SCALE, dataset_factory, emit
+
+from repro import ScalParC
+from repro.analysis import format_table
+from repro.core.phases import ALL_PHASES
+
+N = int(25_000 * SCALE)
+PROCS = [2, 8, 32, 128]
+
+
+def test_phase_breakdown(benchmark):
+    ds = dataset_factory(N)
+    benchmark.pedantic(
+        lambda: ScalParC(8).fit(ds), rounds=1, iterations=1
+    )
+
+    rows = []
+    shares = {}
+    for p in PROCS:
+        stats = ScalParC(p).fit(ds).stats
+        total = stats.parallel_time
+        row = [p, f"{total:.3f}"]
+        for phase in ALL_PHASES:
+            seconds = stats.phase_seconds.get(phase, 0.0)
+            row.append(f"{100 * seconds / total:.1f}%")
+        rows.append(row)
+        shares[p] = {
+            ph: stats.phase_seconds.get(ph, 0.0) / total for ph in ALL_PHASES
+        }
+    text = format_table(
+        ["p", "T_p (s)"] + list(ALL_PHASES), rows,
+        title=f"Phase breakdown of the modeled runtime (Quest F2, N={N})",
+    )
+    emit("phase_breakdown", text)
+
+    # every phase is represented and the accounting covers the runtime
+    for p in PROCS:
+        assert sum(shares[p].values()) > 0.85
+    # the latency-bound splitting phase gains relative weight with p
+    split_share = lambda p: (shares[p]["PerformSplitI"]
+                             + shares[p]["PerformSplitII"])
+    assert split_share(128) > split_share(2) * 0.8
+    # the compute-bound scan loses relative weight at scale
+    assert shares[128]["FindSplitII"] < shares[2]["FindSplitII"] * 1.2

@@ -1,0 +1,65 @@
+"""Experiment E4 — §3.2's analytical claim, measured.
+
+Parallel SPRINT replicates the record→child hash table on every processor,
+making its splitting-phase communication and memory O(N) per rank;
+ScalParC's distributed node table brings both to O(N/p).  This bench runs
+both formulations over a processor sweep at fixed N and prints per-rank
+communication volume and memory — who wins, and how the gap widens with p.
+"""
+
+from __future__ import annotations
+
+from conftest import SCALE, dataset_factory, emit
+
+from repro import ScalParC
+from repro.analysis import format_table
+from repro.baselines import ParallelSPRINT
+from repro.core import InductionConfig
+
+N = int(40_000 * SCALE)
+PROCS = [2, 4, 8, 16, 32]
+CONFIG = InductionConfig(max_depth=6)  # fixed depth: same tree everywhere
+
+
+def test_sprint_vs_scalparc(benchmark):
+    ds = dataset_factory(N)
+    benchmark.pedantic(
+        lambda: ScalParC(8, config=CONFIG).fit(ds), rounds=1, iterations=1
+    )
+
+    rows = []
+    gap_bytes = []
+    gap_mem = []
+    for p in PROCS:
+        a = ScalParC(p, config=CONFIG).fit(ds).stats
+        b = ParallelSPRINT(p, config=CONFIG).fit(ds).stats
+        rows.append([
+            p,
+            f"{a.bytes_per_rank_max / 1024:.0f}",
+            f"{b.bytes_per_rank_max / 1024:.0f}",
+            f"{b.bytes_per_rank_max / a.bytes_per_rank_max:.2f}x",
+            f"{a.memory_per_rank_max / 1024:.0f}",
+            f"{b.memory_per_rank_max / 1024:.0f}",
+            f"{a.parallel_time:.3f}",
+            f"{b.parallel_time:.3f}",
+        ])
+        gap_bytes.append(b.bytes_per_rank_max / a.bytes_per_rank_max)
+        gap_mem.append(b.memory_per_rank_max - a.memory_per_rank_max)
+    text = format_table(
+        ["p", "ScalParC KiB/rank", "SPRINT KiB/rank", "traffic ratio",
+         "ScalParC mem KiB", "SPRINT mem KiB",
+         "ScalParC T(s)", "SPRINT T(s)"],
+        rows,
+        title=f"ScalParC vs parallel SPRINT, N={N} (comm volume & memory "
+              "per rank)",
+    )
+    emit("sprint_comparison", text)
+
+    # ---- §3.2's claims, as measured shape ------------------------------
+    # the per-rank traffic ratio grows monotonically with p …
+    assert all(b >= a * 0.95 for a, b in zip(gap_bytes, gap_bytes[1:]))
+    # … and SPRINT is strictly worse from p=4 on
+    assert all(g > 1.0 for g in gap_bytes[1:])
+    # SPRINT's memory excess is Ω(N): it never shrinks much below 4·N·(1−1/p)
+    for p, excess in zip(PROCS, gap_mem):
+        assert excess > 0.5 * 4 * N * (1 - 1 / p)

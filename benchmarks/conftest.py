@@ -1,0 +1,60 @@
+"""Shared infrastructure for the benchmark harness.
+
+Scaling: the paper runs 0.2m–6.4m records on a 128-PE Cray T3D; the pure-
+Python simulation defaults to a geometrically identical but smaller ladder
+so the full harness completes in minutes.  Set ``REPRO_SCALE`` (a float
+multiplier, default 1.0) to enlarge every workload, e.g.::
+
+    REPRO_SCALE=8 pytest benchmarks/ --benchmark-only
+
+Each bench prints its figure/table reproduction through :func:`emit`,
+which writes both to the real stdout (visible under pytest capture and in
+``tee`` logs) and to ``benchmarks/results/<name>.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_grid
+from repro.datagen import paper_dataset
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: workload scale multiplier (1.0 ≈ seconds-per-run on a laptop)
+SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
+
+#: the Figure 3 ladder: geometric ×2 training-set sizes (paper: 0.2m…6.4m)
+FIG3_SIZES = [int(n * SCALE) for n in (12_500, 25_000, 50_000, 100_000)]
+
+#: the Figure 3 processor axis (paper: up to 128 PEs of the T3D)
+FIG3_PROCS = [4, 8, 16, 32, 64, 128]
+
+
+def dataset_factory(n: int):
+    """The paper-profile workload: Quest F2, 7 attributes, 2 classes."""
+    return paper_dataset(n, "F2", seed=1)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block to the real stdout and persist it."""
+    banner = f"\n===== {name} =====\n{text}\n"
+    sys.__stdout__.write(banner)
+    sys.__stdout__.flush()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def fig3_grid():
+    """The (sizes × procs) ScalParC grid shared by Fig 3(a) and Fig 3(b)."""
+    return run_grid(dataset_factory, FIG3_SIZES, FIG3_PROCS)
+
+
+def label_of(n: int) -> str:
+    """Figure-legend style series label ('0.2m'-like)."""
+    return f"{n / 1e6:.3g}m" if n >= 100_000 else f"{n / 1e3:.3g}k"

@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Quickstart: train ScalParC on a synthetic Quest workload.
+
+Generates the paper's training-set profile (7 attributes, 2 classes,
+function F2), induces a decision tree on 8 simulated processors, and
+prints the tree, its accuracy, and the modeled Cray-T3D run report.
+
+Run:  python examples/quickstart.py [n_records] [n_processors]
+"""
+
+import sys
+
+from repro import ScalParC, accuracy, paper_dataset, summarize, to_text
+
+
+def main() -> None:
+    n_records = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+    n_processors = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+
+    print(f"Generating Quest F2 training set: {n_records} records …")
+    train = paper_dataset(n_records, "F2", seed=0)
+    test = paper_dataset(max(n_records // 4, 1000), "F2", seed=1)
+
+    print(f"Training ScalParC on {n_processors} simulated processors …")
+    result = ScalParC(n_processors=n_processors).fit(train)
+
+    print()
+    print("Induced tree:", summarize(result.tree))
+    print(f"Training accuracy: {accuracy(result.tree, train):.4f}")
+    print(f"Test accuracy:     {accuracy(result.tree, test):.4f}")
+    print()
+    print("Top of the tree:")
+    print(to_text(result.tree, max_depth=2))
+    print()
+    print("Modeled machine report (Cray T3D preset):")
+    print(result.stats.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Scaling study: a runnable miniature of the paper's Figure 3.
+
+Sweeps training-set sizes against processor counts, printing the modeled
+parallel runtime, the speedup series (Figure 3(a)) and per-processor
+memory (Figure 3(b)).  The same machinery at larger scale powers the
+benchmark harness.
+
+Run:  python examples/scaling_study.py [scale]
+      (scale multiplies the default workload sizes; default 1.0)
+"""
+
+import sys
+
+from repro.analysis import (
+    ascii_chart,
+    fit_isoefficiency,
+    format_series,
+    run_grid,
+    speedup_series,
+)
+from repro.datagen import paper_dataset
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+    sizes = [int(n * scale) for n in (5_000, 10_000, 20_000)]
+    procs = [2, 4, 8, 16, 32]
+
+    print(f"Running ScalParC over sizes={sizes}, processors={procs} …")
+    points = run_grid(
+        lambda n: paper_dataset(n, "F2", seed=1),
+        sizes, procs,
+        progress=lambda msg: print("  " + msg),
+    )
+
+    runtime_rows = {}
+    speedup_rows = {}
+    memory_rows = {}
+    for n in sizes:
+        s = speedup_series(points, n)
+        label = f"{n / 1000:g}k"
+        runtime_rows[label] = [f"{t:.3f}" for t in s.parallel_times]
+        speedup_rows[label] = [f"{x:.2f}" for x in s.speedups]
+        memory_rows[label] = [
+            f"{pt.stats.memory_per_rank_max / 1024:.0f}"
+            for pt in sorted(
+                (p for p in points if p.n_records == n),
+                key=lambda p: p.n_processors,
+            )
+        ]
+
+    print()
+    print(format_series("N \\ p", procs, runtime_rows,
+                        title="Modeled parallel runtime (seconds) — Fig 3(a)"))
+    print()
+    print(format_series("N \\ p", procs, speedup_rows,
+                        title="Speedup (anchored at p=2)"))
+    print()
+    print(format_series("N \\ p", procs, memory_rows,
+                        title="Memory per processor (KiB) — Fig 3(b)"))
+    print()
+    chart_series = {
+        f"{n / 1000:g}k": list(speedup_series(points, n).speedups)
+        for n in sizes
+    }
+    print(ascii_chart(
+        procs, chart_series,
+        title="Speedup vs processors (log-x) — the Figure 3(a) shape",
+        logx=True, y_label="S",
+    ))
+    print()
+    big = speedup_series(points, sizes[-1])
+    small = speedup_series(points, sizes[0])
+    print(f"Relative speedup 8→32 processors: "
+          f"{small.relative(8, 32):.2f}x at N={sizes[0]}, "
+          f"{big.relative(8, 32):.2f}x at N={sizes[-1]} "
+          "(larger problems scale better — the paper's headline trend)")
+    try:
+        fit = fit_isoefficiency(points, target_efficiency=0.6)
+        print(f"Isoefficiency fit: N ≈ {fit.coefficient:.0f} · "
+              f"p^{fit.exponent:.2f} for efficiency ≥ 0.6")
+    except ValueError:
+        pass  # grid too small to witness the target at 2+ machine sizes
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Plain-text line charts for terminal figure reproduction.
+
+The benchmark harness prints tables; examples additionally render the
+Figure 3 curves as ASCII charts so the scaling *shape* is visible at a
+glance in any terminal (no plotting dependency).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    title: str = "",
+    width: int = 60,
+    height: int = 16,
+    logx: bool = False,
+    logy: bool = False,
+    y_label: str = "",
+) -> str:
+    """Render one or more (x, y) series as an ASCII scatter/line chart.
+
+    Each series gets its own marker; a legend follows the plot.  Axes can
+    be logarithmic (base 2 for x — the processor axis — and base 10 for
+    y).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(f"series {name!r} length != x length")
+
+    def tx(x: float) -> float:
+        return math.log2(x) if logx else float(x)
+
+    def ty(y: float) -> float:
+        return math.log10(y) if logy else float(y)
+
+    xs = [tx(x) for x in x_values]
+    all_y = [ty(y) for ys in series.values() for y in ys]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for s_idx, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[s_idx % len(_MARKERS)]
+        for x, y in zip(xs, (ty(y) for y in ys)):
+            col = int(round((x - x_lo) / x_span * (width - 1)))
+            row = int(round((y - y_lo) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top = f"{(10 ** y_hi if logy else y_hi):g}"
+    bottom = f"{(10 ** y_lo if logy else y_lo):g}"
+    label_w = max(len(top), len(bottom), len(y_label)) + 1
+    for r, row in enumerate(grid):
+        if r == 0:
+            prefix = top.rjust(label_w)
+        elif r == height - 1:
+            prefix = bottom.rjust(label_w)
+        elif r == height // 2 and y_label:
+            prefix = y_label.rjust(label_w)
+        else:
+            prefix = " " * label_w
+        lines.append(prefix + " |" + "".join(row))
+    lines.append(" " * label_w + " +" + "-" * width)
+    x_axis = (f"{x_values[0]:g}".ljust(width // 2)
+              + f"{x_values[-1]:g}".rjust(width - width // 2))
+    lines.append(" " * (label_w + 2) + x_axis)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} = {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * (label_w + 2) + legend)
+    return "\n".join(lines)

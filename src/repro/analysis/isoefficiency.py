@@ -1,0 +1,116 @@
+"""Isoefficiency analysis (§3's scalability framework, quantified).
+
+The paper argues scalability in the Kumar et al. framework: the overhead
+``T_o = p·T_p − T_s`` must not grow faster than the serial work for the
+efficiency ``E = T_s / (p·T_p)`` to be maintainable by growing the
+problem.  This module extracts that analysis from sweep measurements:
+
+* an efficiency surface over the (N, p) grid;
+* the **isoefficiency curve** — for each p, the smallest measured N whose
+  efficiency reaches a target (interpolated between grid sizes);
+* a log-log fit ``N ≈ c · p^k`` of that curve: ``k`` is the isoefficiency
+  exponent (1 = linearly scalable, the optimum for this problem class).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .speedup import speedup_series
+from .sweep import RunPoint
+
+__all__ = ["IsoefficiencyFit", "efficiency_table", "isoefficiency_curve",
+           "fit_isoefficiency"]
+
+
+def efficiency_table(points: Sequence[RunPoint]) -> dict[int, dict[int, float]]:
+    """Efficiency ``E(N, p)`` for every grid cell: ``{N: {p: E}}``.
+
+    Efficiency is speedup/p with speedup anchored at each series' smallest
+    processor count (the paper's relative-speedup convention).
+    """
+    sizes = sorted({pt.n_records for pt in points})
+    out: dict[int, dict[int, float]] = {}
+    for n in sizes:
+        series = speedup_series(points, n)
+        out[n] = dict(zip(series.processor_counts, series.efficiencies))
+    return out
+
+
+def isoefficiency_curve(
+    points: Sequence[RunPoint], target_efficiency: float = 0.7
+) -> list[tuple[int, float]]:
+    """(p, N_required) pairs: smallest N sustaining the target efficiency
+    at each p, log-interpolated between measured sizes.
+
+    Processor counts whose largest measured N still falls short are
+    omitted (the grid cannot witness the requirement).
+    """
+    if not 0 < target_efficiency <= 1:
+        raise ValueError("target_efficiency must be in (0, 1]")
+    table = efficiency_table(points)
+    sizes = np.array(sorted(table))
+    procs = sorted({pt.n_processors for pt in points})
+    curve: list[tuple[int, float]] = []
+    for p in procs:
+        effs = np.array([table[n].get(p, np.nan) for n in sizes])
+        ok = effs >= target_efficiency
+        if not ok.any():
+            continue
+        first = int(np.argmax(ok))
+        if first == 0:
+            curve.append((p, float(sizes[0])))
+            continue
+        # log-interpolate between the straddling sizes
+        n_lo, n_hi = sizes[first - 1], sizes[first]
+        e_lo, e_hi = effs[first - 1], effs[first]
+        if e_hi == e_lo:
+            curve.append((p, float(n_hi)))
+            continue
+        t = (target_efficiency - e_lo) / (e_hi - e_lo)
+        log_n = np.log(n_lo) + t * (np.log(n_hi) - np.log(n_lo))
+        curve.append((p, float(np.exp(log_n))))
+    return curve
+
+
+@dataclass(frozen=True)
+class IsoefficiencyFit:
+    """Power-law fit ``N ≈ coefficient · p^exponent`` of an isoefficiency
+    curve."""
+
+    target_efficiency: float
+    exponent: float
+    coefficient: float
+    curve: tuple[tuple[int, float], ...]
+
+    def required_records(self, p: int) -> float:
+        """Predicted N needed to sustain the target efficiency at p."""
+        return self.coefficient * p ** self.exponent
+
+
+def fit_isoefficiency(
+    points: Sequence[RunPoint], target_efficiency: float = 0.7
+) -> IsoefficiencyFit:
+    """Fit the isoefficiency power law from grid measurements.
+
+    Raises ``ValueError`` when fewer than two processor counts witness the
+    target efficiency (nothing to fit).
+    """
+    curve = isoefficiency_curve(points, target_efficiency)
+    if len(curve) < 2:
+        raise ValueError(
+            f"grid witnesses efficiency {target_efficiency} at "
+            f"{len(curve)} processor count(s); need at least 2"
+        )
+    ps = np.array([p for p, _ in curve], dtype=np.float64)
+    ns = np.array([n for _, n in curve], dtype=np.float64)
+    exponent, intercept = np.polyfit(np.log(ps), np.log(ns), 1)
+    return IsoefficiencyFit(
+        target_efficiency=target_efficiency,
+        exponent=float(exponent),
+        coefficient=float(np.exp(intercept)),
+        curve=tuple(curve),
+    )

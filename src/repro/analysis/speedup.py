@@ -1,0 +1,78 @@
+"""Speedup / efficiency / isoefficiency computations (§3's T_o = p·T_p − T_s
+framework and the §5 reporting conventions)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .sweep import RunPoint
+
+__all__ = [
+    "SpeedupSeries",
+    "speedup_series",
+    "relative_speedup",
+    "parallel_overhead",
+]
+
+
+@dataclass(frozen=True)
+class SpeedupSeries:
+    """Runtime-scalability series for one training-set size (a Figure 3(a)
+    curve)."""
+
+    n_records: int
+    processor_counts: tuple[int, ...]
+    parallel_times: tuple[float, ...]
+    #: speedup vs the smallest processor count in the series, scaled so a
+    #: perfectly scalable run reads p (paper convention: relative speedup
+    #: anchored at the smallest machine that fits the problem)
+    speedups: tuple[float, ...]
+    #: parallel efficiency speedup/p
+    efficiencies: tuple[float, ...]
+
+    def relative(self, p_from: int, p_to: int) -> float:
+        """Speedup ratio going from ``p_from`` to ``p_to`` processors —
+        the quantity §5 quotes (e.g. "relative speedup of 1.43 while going
+        from 32 to 128 processors")."""
+        return relative_speedup(self, p_from, p_to)
+
+
+def speedup_series(points: Sequence[RunPoint], n_records: int) -> SpeedupSeries:
+    """Build the speedup series of one training-set size from grid points."""
+    mine = sorted(
+        (pt for pt in points if pt.n_records == n_records),
+        key=lambda pt: pt.n_processors,
+    )
+    if not mine:
+        raise ValueError(f"no grid points with n_records={n_records}")
+    procs = tuple(pt.n_processors for pt in mine)
+    times = tuple(pt.stats.parallel_time for pt in mine)
+    base_p, base_t = procs[0], times[0]
+    speedups = tuple(base_p * base_t / t for t in times)
+    efficiencies = tuple(s / p for s, p in zip(speedups, procs))
+    return SpeedupSeries(
+        n_records=n_records,
+        processor_counts=procs,
+        parallel_times=times,
+        speedups=speedups,
+        efficiencies=efficiencies,
+    )
+
+
+def relative_speedup(series: SpeedupSeries, p_from: int, p_to: int) -> float:
+    """T(p_from) / T(p_to) — how much faster the larger machine is."""
+    try:
+        i = series.processor_counts.index(p_from)
+        j = series.processor_counts.index(p_to)
+    except ValueError as exc:
+        raise ValueError(
+            f"series has processor counts {series.processor_counts}"
+        ) from exc
+    return series.parallel_times[i] / series.parallel_times[j]
+
+
+def parallel_overhead(serial_time: float, parallel_time: float,
+                      p: int) -> float:
+    """T_o = p·T_p − T_s (§3): total overhead of the parallel execution."""
+    return p * parallel_time - serial_time

@@ -1,0 +1,49 @@
+"""Plain-text table/series rendering for the benchmark harness.
+
+Each figure reproduction prints the same rows/series the paper plots; the
+formatting here keeps those prints aligned and diff-friendly so
+EXPERIMENTS.md can embed them verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Monospace-aligned table with a header rule."""
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[object]],
+    *,
+    title: str | None = None,
+    fmt: str = "{}",
+) -> str:
+    """One row per series, columns = x values (the figure-legend layout)."""
+    headers = [x_label] + [str(x) for x in x_values]
+    rows = []
+    for name, values in series.items():
+        rows.append([name] + [fmt.format(v) for v in values])
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,109 @@
+"""Model-validation utilities: k-fold cross-validation and holdout.
+
+Standard downstream tooling for the classifier: estimate generalization
+accuracy (and tree complexity) without a dedicated test set.  Works with
+any inducer exposing the shared semantics — the serial reference by
+default (no need to spin up ranks per fold), ScalParC by request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.serial_reference import induce_serial
+from ..core.config import InductionConfig
+from ..datagen.schema import Dataset
+from ..tree.stats import accuracy
+
+__all__ = ["CrossValResult", "kfold_indices", "cross_validate"]
+
+
+@dataclass(frozen=True)
+class CrossValResult:
+    """Per-fold accuracies and tree sizes of one cross-validation run."""
+
+    fold_accuracies: tuple[float, ...]
+    fold_tree_nodes: tuple[int, ...]
+
+    @property
+    def mean_accuracy(self) -> float:
+        return float(np.mean(self.fold_accuracies))
+
+    @property
+    def std_accuracy(self) -> float:
+        return float(np.std(self.fold_accuracies))
+
+    def __str__(self) -> str:
+        return (
+            f"{len(self.fold_accuracies)}-fold accuracy "
+            f"{self.mean_accuracy:.4f} ± {self.std_accuracy:.4f}"
+        )
+
+
+def kfold_indices(n: int, k: int, rng: np.random.Generator
+                  ) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Shuffled k-fold (train_idx, test_idx) pairs covering [0, n)."""
+    if k < 2:
+        raise ValueError(f"need k >= 2 folds, got {k}")
+    if n < k:
+        raise ValueError(f"cannot make {k} folds from {n} records")
+    perm = rng.permutation(n)
+    folds = np.array_split(perm, k)
+    out = []
+    for i in range(k):
+        test = folds[i]
+        train = np.concatenate([folds[j] for j in range(k) if j != i])
+        out.append((train, test))
+    return out
+
+
+def cross_validate(
+    dataset: Dataset,
+    k: int = 5,
+    *,
+    config: InductionConfig | None = None,
+    seed: int = 0,
+    n_processors: int | None = None,
+    prune=None,
+) -> CrossValResult:
+    """k-fold cross-validation of the decision-tree classifier.
+
+    Parameters
+    ----------
+    dataset:
+        The labeled data.
+    k:
+        Number of folds.
+    config:
+        Induction configuration (shared semantics).
+    seed:
+        Fold-shuffle seed.
+    n_processors:
+        If given, each fold trains with ScalParC on this many simulated
+        ranks (slower; identical trees — useful as an integration check).
+    prune:
+        Optional post-pass applied per fold, e.g.
+        :func:`repro.tree.prune_mdl`.
+    """
+    rng = np.random.default_rng(seed)
+    accs: list[float] = []
+    sizes: list[int] = []
+    for train_idx, test_idx in kfold_indices(dataset.n_records, k, rng):
+        train = dataset.take(train_idx)
+        test = dataset.take(test_idx)
+        if n_processors is None:
+            tree = induce_serial(train, config)
+        else:
+            from ..core.classifier import ScalParC
+
+            tree = ScalParC(n_processors, config=config,
+                            machine=None).fit(train).tree
+        if prune is not None:
+            tree = prune(tree)
+        accs.append(accuracy(tree, test))
+        sizes.append(tree.n_nodes)
+    return CrossValResult(
+        fold_accuracies=tuple(accs), fold_tree_nodes=tuple(sizes)
+    )

@@ -1,0 +1,143 @@
+"""Parallel SPRINT's splitting phase: the replicated hash table (§3.2).
+
+The paper's key negative result: SPRINT's parallel formulation "builds the
+required hash table **on all the processors** for each node of the
+decision tree … since each processor has to receive the entire hash table,
+the amount of communication overhead per processor is proportional to the
+size of the hash table, which is O(N) … the approach is not scalable in
+terms of memory requirements also, because the hash table size on each
+processor is O(N) for the top node as well as for nodes at the upper
+levels."
+
+This module reimplements exactly that formulation as a
+:class:`~repro.core.splitter.SplitPhase`: split determination is shared
+with ScalParC (it *is* efficient — §3.2), but the record→child mapping is
+replicated everywhere via an allgatherv of every rank's (record id,
+next-level node) pairs.  Experiment E4 measures the resulting O(N)
+per-rank traffic and memory against ScalParC's O(N/p).
+
+Trees produced are — by construction — identical to ScalParC's and the
+serial reference's; only cost characteristics differ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.attribute_lists import LocalAttributeList
+from ..core.config import InductionConfig
+from ..core.induction import induce_worker
+from ..core.splitter import LevelDecisions, SplitPhase, _local_children
+from ..datagen.schema import Dataset
+from ..runtime import Communicator
+from ..tree.model import DecisionTree
+
+__all__ = ["ReplicatedSprintSplitPhase", "sprint_worker", "ParallelSPRINT"]
+
+
+class ReplicatedSprintSplitPhase(SplitPhase):
+    """SPRINT's splitting phase: every rank holds the full N-entry table."""
+
+    def __init__(self) -> None:
+        self.n_total = 0
+        self.table: np.ndarray | None = None
+
+    def setup(self, comm: Communicator, n_total: int) -> None:
+        self.n_total = n_total
+        # the full record-id → node mapping, replicated on every rank:
+        # the O(N)-per-processor memory §3.2 calls out
+        self.table = np.full(n_total, -1, dtype=np.int32)
+        comm.perf.register_bytes("sprint_replicated_table", self.table.nbytes)
+
+    def execute(
+        self,
+        comm: Communicator,
+        lists: list[LocalAttributeList],
+        decisions: LevelDecisions,
+        config: InductionConfig,
+    ) -> None:
+        assert self.table is not None, "setup() must run before execute()"
+        m = len(decisions.splitting)
+        all_mask = np.ones(m, dtype=bool)
+
+        # gather every rank's (rid, child) pairs from the winner lists —
+        # the O(N) per-processor communication step
+        rid_parts: list[np.ndarray] = []
+        id_parts: list[np.ndarray] = []
+        winner_entries = []
+        for alist in lists:
+            entries, ids = _local_children(alist, decisions, all_mask)
+            winner_entries.append((entries, ids))
+            comm.perf.add_compute("split", len(entries))
+            if len(entries):
+                rid_parts.append(alist.rids[entries])
+                id_parts.append(ids)
+        my_rids = np.concatenate(rid_parts) if rid_parts else \
+            np.empty(0, dtype=np.int64)
+        my_ids = np.concatenate(id_parts) if id_parts else \
+            np.empty(0, dtype=np.int64)
+
+        all_rids = comm.allgatherv(my_rids)
+        all_ids = comm.allgatherv(my_ids.astype(np.int32))
+        self.table[all_rids] = all_ids
+        comm.perf.add_compute("table", len(all_rids))
+
+        # split every list locally against the replicated table
+        for alist, (entries, ids) in zip(lists, winner_entries):
+            nodes = alist.entry_nodes()
+            new_nodes = np.full(alist.n_local, -1, dtype=np.int64)
+            if len(entries):
+                new_nodes[entries] = ids
+            need = decisions.splitting[nodes] & (
+                decisions.winner_attr[nodes] != alist.attr_index
+            )
+            new_nodes[need] = self.table[alist.rids[need]]
+            comm.perf.add_compute("split", alist.n_local)
+            alist.reorder(new_nodes, decisions.n_next)
+            comm.perf.register_bytes(
+                f"attr_list[{alist.spec.name}]", alist.nbytes()
+            )
+
+
+def sprint_worker(
+    comm: Communicator,
+    dataset: Dataset,
+    config: InductionConfig | None = None,
+) -> DecisionTree:
+    """SPMD worker running induction with SPRINT's replicated-table
+    splitting phase."""
+    return induce_worker(
+        comm, dataset, config, split_phase=ReplicatedSprintSplitPhase()
+    )
+
+
+class ParallelSPRINT:
+    """Drop-in counterpart of :class:`~repro.core.classifier.ScalParC`
+    running the parallel SPRINT formulation (comparison baseline)."""
+
+    def __init__(self, n_processors: int = 4,
+                 config: InductionConfig | None = None,
+                 machine=None):
+        from ..perfmodel import CRAY_T3D
+
+        if n_processors <= 0:
+            raise ValueError(
+                f"n_processors must be positive, got {n_processors}"
+            )
+        self.n_processors = n_processors
+        self.config = config or InductionConfig()
+        self.machine = CRAY_T3D if machine is None else machine
+
+    def fit(self, dataset: Dataset):
+        """Train on the simulated machine; returns tree + priced stats."""
+        from ..core.classifier import FitResult
+        from ..perfmodel import PerfRun
+        from ..runtime import run_spmd
+
+        perf = PerfRun(self.n_processors, self.machine)
+        trees = run_spmd(
+            self.n_processors, sprint_worker, args=(dataset, self.config),
+            observer=perf, rank_perf=perf.trackers,
+        )
+        return FitResult(tree=trees[0], stats=perf.stats(),
+                         n_processors=self.n_processors)

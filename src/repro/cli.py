@@ -1,0 +1,242 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``train``
+    Generate (or load) a dataset, run ScalParC, print the tree summary,
+    accuracy and the modeled machine report; optionally save the model.
+``generate``
+    Materialize a Quest synthetic dataset to .npz or .csv.
+``scale``
+    Run an (N × p) scaling sweep and print Figure-3-style tables.
+``report``
+    Fold the benchmark harness's result artifacts into one markdown
+    document.
+
+Examples
+--------
+::
+
+    python -m repro train --records 50000 --function F2 --processors 16
+    python -m repro generate --records 100000 --function F7 --out data.npz
+    python -m repro scale --sizes 5000,10000,20000 --processors 2,4,8,16
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .analysis import format_series, run_grid, speedup_series
+from .baselines import induce_serial
+from .core import InductionConfig, ScalParC
+from .datagen import (
+    FUNCTION_NAMES,
+    generate_quest,
+    load_npz,
+    paper_dataset,
+    save_csv,
+    save_npz,
+)
+from .tree import accuracy, prune_pessimistic, summarize, to_dict, to_text
+
+__all__ = ["main", "build_parser"]
+
+
+def _int_list(text: str) -> list[int]:
+    return [int(x) for x in text.split(",") if x]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ScalParC (IPPS 1998) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train a classifier")
+    train.add_argument("--records", type=int, default=20_000)
+    train.add_argument("--function", choices=FUNCTION_NAMES, default="F2")
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--noise", type=float, default=0.0,
+                       help="label perturbation probability")
+    train.add_argument("--processors", type=int, default=8)
+    train.add_argument("--serial", action="store_true",
+                       help="use the serial reference instead of ScalParC")
+    train.add_argument("--max-depth", type=int, default=None)
+    train.add_argument("--criterion", choices=("gini", "entropy"),
+                       default="gini")
+    train.add_argument("--subset-splits", action="store_true",
+                       help="binary subset categorical splits (footnote 1)")
+    train.add_argument("--prune", action="store_true",
+                       help="apply pessimistic-error pruning")
+    train.add_argument("--data", type=Path, default=None,
+                       help="load an .npz dataset instead of generating")
+    train.add_argument("--save-model", type=Path, default=None,
+                       help="write the tree as JSON")
+    train.add_argument("--print-tree", type=int, metavar="DEPTH",
+                       default=None, help="print the tree to this depth")
+    train.add_argument("--rules", action="store_true",
+                       help="print the model as decision rules")
+    train.add_argument("--importance", action="store_true",
+                       help="print per-attribute gini importances")
+    train.add_argument("--distributed-source", action="store_true",
+                       help="generate per-rank blocks on demand instead of "
+                            "materializing the dataset (counter-based RNG)")
+
+    gen = sub.add_parser("generate", help="materialize a Quest dataset")
+    gen.add_argument("--records", type=int, required=True)
+    gen.add_argument("--function", choices=FUNCTION_NAMES, default="F2")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--noise", type=float, default=0.0)
+    gen.add_argument("--paper-profile", action="store_true",
+                     help="7-attribute projection used in the paper (§5)")
+    gen.add_argument("--out", type=Path, required=True,
+                     help="output path (.npz or .csv)")
+
+    scale = sub.add_parser("scale", help="run a scaling sweep")
+    scale.add_argument("--sizes", type=_int_list, default=[5000, 10000, 20000])
+    scale.add_argument("--processors", type=_int_list, default=[2, 4, 8, 16])
+    scale.add_argument("--function", choices=FUNCTION_NAMES, default="F2")
+    scale.add_argument("--seed", type=int, default=1)
+
+    report = sub.add_parser("report", help="collect benchmark artifacts")
+    report.add_argument("--results", type=Path,
+                        default=Path("benchmarks/results"))
+    report.add_argument("--out", type=Path, default=None,
+                        help="write markdown here instead of stdout")
+
+    return parser
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    if args.data is not None:
+        train_set = load_npz(args.data)
+        test_set = None
+    elif args.distributed_source:
+        from .datagen import DistributedQuestSource
+
+        train_set = DistributedQuestSource(
+            args.records, args.function, seed=args.seed,
+            perturbation=args.noise,
+        )
+        test_set = paper_dataset(max(args.records // 4, 100), args.function,
+                                 seed=args.seed + 1)
+    else:
+        train_set = paper_dataset(args.records, args.function,
+                                  seed=args.seed, perturbation=args.noise)
+        test_set = paper_dataset(max(args.records // 4, 100), args.function,
+                                 seed=args.seed + 1)
+    config = InductionConfig(
+        max_depth=args.max_depth,
+        criterion=args.criterion,
+        categorical_binary_subsets=args.subset_splits,
+    )
+    if args.serial:
+        if args.distributed_source:
+            train_set = train_set.materialize()
+        tree = induce_serial(train_set, config)
+        stats = None
+    else:
+        result = ScalParC(args.processors, config=config).fit(train_set)
+        tree, stats = result.tree, result.stats
+    if args.prune:
+        tree = prune_pessimistic(tree)
+
+    print(f"tree: {summarize(tree)}")
+    eval_train = train_set.materialize() if args.distributed_source \
+        and not args.serial else train_set
+    print(f"train accuracy: {accuracy(tree, eval_train):.4f}")
+    if test_set is not None:
+        print(f"test accuracy:  {accuracy(tree, test_set):.4f}")
+    if stats is not None:
+        print(stats.describe())
+    if args.print_tree is not None:
+        print(to_text(tree, max_depth=args.print_tree))
+    if args.rules:
+        from .tree import rules_to_text
+
+        print(rules_to_text(tree, min_records=max(tree.root.n_records
+                                                  // 50, 1)))
+    if args.importance:
+        from .tree import feature_importances
+
+        for spec, imp in sorted(
+            zip(train_set.schema, feature_importances(tree)),
+            key=lambda t: -t[1],
+        ):
+            print(f"  {spec.name:12s} {imp:.3f}")
+    if args.save_model is not None:
+        args.save_model.write_text(json.dumps(to_dict(tree)))
+        print(f"model written to {args.save_model}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.paper_profile:
+        dataset = paper_dataset(args.records, args.function,
+                                seed=args.seed, perturbation=args.noise)
+    else:
+        dataset = generate_quest(args.records, args.function,
+                                 seed=args.seed, perturbation=args.noise)
+    suffix = args.out.suffix.lower()
+    if suffix == ".npz":
+        save_npz(dataset, args.out)
+    elif suffix == ".csv":
+        save_csv(dataset, args.out)
+    else:
+        print(f"unsupported output format {suffix!r} (use .npz or .csv)",
+              file=sys.stderr)
+        return 2
+    print(f"{dataset.n_records} records -> {args.out}")
+    return 0
+
+
+def _cmd_scale(args: argparse.Namespace) -> int:
+    points = run_grid(
+        lambda n: paper_dataset(n, args.function, seed=args.seed),
+        args.sizes, args.processors,
+        progress=lambda msg: print("  " + msg),
+    )
+    times = {}
+    speedups = {}
+    for n in args.sizes:
+        s = speedup_series(points, n)
+        times[f"{n}"] = [f"{t:.3f}" for t in s.parallel_times]
+        speedups[f"{n}"] = [f"{x:.2f}" for x in s.speedups]
+    print(format_series("N \\ p", args.processors, times,
+                        title="modeled parallel runtime (s)"))
+    print()
+    print(format_series("N \\ p", args.processors, speedups,
+                        title="speedup"))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis import results_to_markdown
+
+    md = results_to_markdown(args.results,
+                             title="ScalParC reproduction — measured results")
+    if args.out is not None:
+        args.out.write_text(md + "\n")
+        print(f"report written to {args.out}")
+    else:
+        print(md)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "train":
+        return _cmd_train(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "scale":
+        return _cmd_scale(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,0 +1,139 @@
+"""Distributed attribute lists (the paper's vertical fragmentation, §2/§3).
+
+The training set is fragmented vertically into one list per attribute;
+each list entry carries (value, record id, class label).  Horizontally,
+every list is block-distributed over the ranks (§3.1) — ⌈N/p⌉ entries per
+rank — and this assignment never changes.
+
+On each rank a :class:`LocalAttributeList` keeps its fragment grouped into
+contiguous *segments, one per active tree node of the current level*, in
+CSR form (``offsets``).  Invariants maintained through every level:
+
+* within a node's segment, continuous lists are in global (value, rid)
+  order restricted to this rank — and because splits only ever subset the
+  original sorted blocks, concatenating a node's segments in rank order
+  always yields the node's entries in global sorted order;
+* categorical lists stay in the original record order within segments.
+
+Splitting a level is one stable counting sort by next-level node id
+(:meth:`LocalAttributeList.reorder`) — entries of nodes that became leaves
+are dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datagen.schema import AttributeSpec, Dataset
+from ..runtime import Communicator
+from ..sort import parallel_sample_sort
+
+__all__ = ["LocalAttributeList", "build_local_lists"]
+
+
+@dataclass
+class LocalAttributeList:
+    """One rank's fragment of one attribute list, segmented by active node."""
+
+    spec: AttributeSpec
+    attr_index: int
+    values: np.ndarray
+    rids: np.ndarray
+    labels: np.ndarray
+    #: CSR segment bounds: segment k = entries [offsets[k], offsets[k+1])
+    offsets: np.ndarray
+
+    def __post_init__(self):
+        n = len(self.values)
+        if len(self.rids) != n or len(self.labels) != n:
+            raise ValueError("attribute list arrays must be entry-aligned")
+        if self.offsets[0] != 0 or self.offsets[-1] != n:
+            raise ValueError("offsets must span exactly the local entries")
+
+    @property
+    def n_local(self) -> int:
+        return len(self.values)
+
+    @property
+    def n_segments(self) -> int:
+        return len(self.offsets) - 1
+
+    def segment(self, k: int) -> slice:
+        """Local entries of active node k."""
+        return slice(int(self.offsets[k]), int(self.offsets[k + 1]))
+
+    def entry_nodes(self) -> np.ndarray:
+        """Active-node index of every local entry (int64, length n_local)."""
+        return np.repeat(
+            np.arange(self.n_segments, dtype=np.int64),
+            np.diff(self.offsets),
+        )
+
+    def nbytes(self) -> int:
+        """Live bytes of this fragment (for the memory model)."""
+        return int(self.values.nbytes + self.rids.nbytes + self.labels.nbytes
+                   + self.offsets.nbytes)
+
+    def reorder(self, new_nodes: np.ndarray, n_next: int) -> None:
+        """Regroup entries by next-level node id; drop entries with id < 0.
+
+        The sort is stable, so within each new segment the previous
+        relative order — hence the global sorted order for continuous
+        lists — is preserved.
+        """
+        if len(new_nodes) != self.n_local:
+            raise ValueError("new_nodes must cover every local entry")
+        keep = new_nodes >= 0
+        kept_nodes = new_nodes[keep]
+        perm = np.argsort(kept_nodes, kind="stable")
+        self.values = self.values[keep][perm]
+        self.rids = self.rids[keep][perm]
+        self.labels = self.labels[keep][perm]
+        counts = np.bincount(kept_nodes, minlength=n_next)
+        self.offsets = np.concatenate(
+            ([0], np.cumsum(counts, dtype=np.int64))
+        )
+
+
+def build_local_lists(
+    comm: Communicator, dataset: Dataset
+) -> tuple[list[LocalAttributeList], int]:
+    """Build this rank's attribute lists, presorting continuous attributes.
+
+    Each rank takes its ⌈N/p⌉ record block, forms (value, rid, label)
+    lists per attribute, and runs the parallel sample sort once per
+    continuous attribute (the Presort phase of Figure 2).  Returns the
+    lists and the global record count N.
+    """
+    n_total = dataset.n_records
+    block = dataset.block(comm.rank, comm.size)
+    chunk = -(-n_total // comm.size) if n_total else 0
+    rid_start = min(comm.rank * chunk, n_total)
+    rids = np.arange(rid_start, rid_start + block.n_records, dtype=np.int64)
+    labels = block.labels.astype(np.int64)
+
+    lists: list[LocalAttributeList] = []
+    for a, spec in enumerate(dataset.schema):
+        col = block.columns[a]
+        if spec.is_continuous:
+            values = col.astype(np.float64, copy=True)
+            s_values, s_rids, s_labels = parallel_sample_sort(
+                comm, values, labels, rids=rids
+            )
+        else:
+            s_values = col.astype(np.int32, copy=True)
+            s_rids = rids.copy()
+            s_labels = labels.copy()
+        alist = LocalAttributeList(
+            spec=spec,
+            attr_index=a,
+            values=s_values,
+            rids=s_rids,
+            labels=s_labels,
+            offsets=np.array([0, len(s_values)], dtype=np.int64),
+        )
+        comm.perf.register_bytes(f"attr_list[{spec.name}]", alist.nbytes())
+        lists.append(alist)
+    return lists, n_total

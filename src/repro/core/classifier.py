@@ -1,0 +1,97 @@
+"""ScalParC public facade.
+
+The one-stop API most users want::
+
+    from repro import ScalParC, paper_dataset
+
+    clf = ScalParC(n_processors=16)
+    result = clf.fit(paper_dataset(100_000, "F2"))
+    result.tree.predict(test_set)
+    print(result.stats.describe())   # modeled Cray-T3D run report
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datagen.schema import Dataset
+from ..perfmodel import CRAY_T3D, MachineSpec, PerfRun, SimulatedRunStats
+from ..runtime import run_spmd
+from ..tree.model import DecisionTree
+from .config import InductionConfig
+from .induction import induce_worker
+
+__all__ = ["ScalParC", "FitResult", "fit_scalparc"]
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Outcome of one ScalParC training run."""
+
+    tree: DecisionTree
+    #: modeled-machine measurements (None when machine pricing is disabled)
+    stats: SimulatedRunStats | None
+    n_processors: int
+
+
+class ScalParC:
+    """Scalable Parallel Classifier (the paper's algorithm).
+
+    Parameters
+    ----------
+    n_processors:
+        Number of simulated ranks (the paper runs 8…128 on the T3D).
+    config:
+        Induction parameters; defaults to the paper's behaviour
+        (gini criterion, multiway categorical splits, grow to purity,
+        blocked node-table updates, per-level communication).
+    machine:
+        Machine spec for the performance model, or ``None`` to skip
+        pricing entirely.  Defaults to the Cray-T3D-like preset.
+
+    The induced tree is *independent of* ``n_processors``: any p produces
+    exactly the serial reference's tree.
+    """
+
+    def __init__(
+        self,
+        n_processors: int = 4,
+        config: InductionConfig | None = None,
+        machine: MachineSpec | None = CRAY_T3D,
+    ):
+        if n_processors <= 0:
+            raise ValueError(
+                f"n_processors must be positive, got {n_processors}"
+            )
+        self.n_processors = n_processors
+        self.config = config or InductionConfig()
+        self.machine = machine
+
+    def fit(self, dataset: Dataset) -> FitResult:
+        """Induce a decision tree from ``dataset`` on the simulated
+        machine; returns the tree plus the priced run statistics."""
+        if self.machine is not None:
+            perf = PerfRun(self.n_processors, self.machine)
+            trees = run_spmd(
+                self.n_processors, induce_worker,
+                args=(dataset, self.config),
+                observer=perf, rank_perf=perf.trackers,
+            )
+            stats = perf.stats()
+        else:
+            trees = run_spmd(
+                self.n_processors, induce_worker, args=(dataset, self.config)
+            )
+            stats = None
+        return FitResult(tree=trees[0], stats=stats,
+                         n_processors=self.n_processors)
+
+
+def fit_scalparc(
+    dataset: Dataset,
+    n_processors: int = 4,
+    config: InductionConfig | None = None,
+    machine: MachineSpec | None = CRAY_T3D,
+) -> FitResult:
+    """Functional one-liner around :class:`ScalParC`."""
+    return ScalParC(n_processors, config, machine).fit(dataset)

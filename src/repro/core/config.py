@@ -1,0 +1,85 @@
+"""Induction configuration shared by ScalParC and the baselines.
+
+Every knob is honored identically by the parallel classifier and the
+serial golden reference, so any configuration can be cross-checked for
+exact tree equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .criteria import CRITERIA, GINI
+
+__all__ = ["InductionConfig"]
+
+
+@dataclass(frozen=True)
+class InductionConfig:
+    """Tree-induction parameters.
+
+    Attributes
+    ----------
+    max_depth:
+        Nodes at this depth become leaves (root = 0); ``None`` = unlimited
+        (induction stops at purity, like the paper's runs).
+    min_split_records:
+        Nodes with fewer records become leaves.
+    min_improvement:
+        Required impurity decrease (parent impurity − split score) of the
+        best candidate; candidates below the bar terminate the node.
+    criterion:
+        ``"gini"`` (the paper's index) or ``"entropy"`` (extension).
+    categorical_binary_subsets:
+        False (paper default): one child per occurring categorical value.
+        True (footnote 1 extension): binary subset splits.
+    subset_exhaustive_limit:
+        With subset splits, values-with-records threshold up to which the
+        subset search is exhaustive rather than greedy.
+    blocked_updates:
+        Split node-table update rounds into blocks of ≤ ⌈N/p⌉ pairs per
+        rank (§3.3.2's memory-scalability device).  Parallel only.
+    max_update_block:
+        Override the block size (entries per rank per round).
+    per_node_communication:
+        Ablation of §3.1: issue the splitting-phase collectives once per
+        tree node instead of once per level, reproducing the latency
+        blow-up the paper's per-level design avoids.  Parallel only.
+    combined_enquiry:
+        Communication optimization (the tech-report follow-up to §3.3.2's
+        "possible ways of optimizing the communication overheads"): batch
+        the node-table enquiries of *all* non-splitting attributes into a
+        single enquire per level instead of one per attribute — same
+        bytes, 1 all-to-all latency pair instead of n_a−1.  Parallel only;
+        never changes the induced tree.
+    """
+
+    max_depth: int | None = None
+    min_split_records: int = 2
+    min_improvement: float = 0.0
+    criterion: str = GINI
+    categorical_binary_subsets: bool = False
+    subset_exhaustive_limit: int = 12
+    blocked_updates: bool = True
+    max_update_block: int | None = None
+    per_node_communication: bool = False
+    combined_enquiry: bool = False
+
+    def __post_init__(self):
+        if self.max_depth is not None and self.max_depth < 0:
+            raise ValueError("max_depth must be >= 0 or None")
+        if self.min_split_records < 2:
+            raise ValueError("min_split_records must be >= 2")
+        if self.min_improvement < 0:
+            raise ValueError("min_improvement must be >= 0")
+        if self.criterion not in CRITERIA:
+            raise ValueError(
+                f"criterion must be one of {CRITERIA}, got {self.criterion!r}"
+            )
+        if self.max_update_block is not None and self.max_update_block <= 0:
+            raise ValueError("max_update_block must be positive")
+        if self.combined_enquiry and self.per_node_communication:
+            raise ValueError(
+                "combined_enquiry and per_node_communication are mutually "
+                "exclusive (one batches per level, the other un-batches)"
+            )

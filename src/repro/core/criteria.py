@@ -1,0 +1,216 @@
+"""Splitting criteria: impurity kernels shared by every classifier here.
+
+The gini index of §2 — ``gini_i = 1 − Σ_j (n_ij / n_i)²`` per partition,
+``gini_split = Σ_i (n_i / n) · gini_i`` — plus the information-gain
+(entropy) criterion as an extension.
+
+**Determinism contract**: ScalParC (any processor count), the serial
+golden reference and the SPRINT baselines all call *these* functions on
+*integer* count matrices.  Since the inputs are exact integers and the
+floating-point expressions are evaluated elementwise in a fixed order, all
+implementations obtain bit-identical scores — which is what lets the test
+suite demand exact tree equality across processor counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "GINI",
+    "ENTROPY",
+    "CRITERIA",
+    "impurity",
+    "split_score_from_left",
+    "split_score_multiway",
+    "best_binary_subset",
+    "best_categorical_split",
+]
+
+GINI = "gini"
+ENTROPY = "entropy"
+CRITERIA = (GINI, ENTROPY)
+
+
+def _check_criterion(criterion: str) -> None:
+    if criterion not in CRITERIA:
+        raise ValueError(f"unknown criterion {criterion!r}; expected {CRITERIA}")
+
+
+def impurity(counts: np.ndarray, criterion: str = GINI) -> np.ndarray:
+    """Impurity of one or many class-count vectors.
+
+    ``counts`` has shape (c,) or (m, c); returns a scalar array or (m,).
+    Empty partitions (zero total) have impurity 0 by convention.
+    """
+    _check_criterion(criterion)
+    counts = np.asarray(counts, dtype=np.float64)
+    single = counts.ndim == 1
+    if single:
+        counts = counts[None, :]
+    totals = counts.sum(axis=1)
+    safe = np.maximum(totals, 1.0)
+    frac = counts / safe[:, None]
+    if criterion == GINI:
+        out = 1.0 - np.sum(frac * frac, axis=1)
+    else:
+        logs = np.zeros_like(frac)
+        np.log2(frac, out=logs, where=frac > 0.0)
+        out = -np.sum(frac * logs, axis=1)
+    out = np.where(totals > 0.0, out, 0.0)
+    return out[0] if single else out
+
+
+def split_score_from_left(
+    left: np.ndarray, totals: np.ndarray, criterion: str = GINI
+) -> np.ndarray:
+    """Weighted split impurity of binary splits given their left counts.
+
+    Parameters
+    ----------
+    left:
+        (m, c) integer matrix: class counts of the left partition for m
+        candidate split positions.
+    totals:
+        (m, c) or (c,) integer matrix: class counts of the node being
+        split (broadcast against candidates).
+
+    Returns
+    -------
+    (m,) float64
+        ``(n_L/n)·imp(L) + (n_R/n)·imp(R)`` per candidate — the
+        ``gini_split`` of §2 (or its entropy analogue).
+    """
+    left = np.asarray(left, dtype=np.float64)
+    totals = np.broadcast_to(
+        np.asarray(totals, dtype=np.float64), left.shape
+    )
+    right = totals - left
+    n = totals.sum(axis=1)
+    n_left = left.sum(axis=1)
+    n_right = right.sum(axis=1)
+    imp_left = impurity(left, criterion)
+    imp_right = impurity(right, criterion)
+    safe_n = np.maximum(n, 1.0)
+    return (n_left / safe_n) * imp_left + (n_right / safe_n) * imp_right
+
+
+def split_score_multiway(matrix: np.ndarray, criterion: str = GINI) -> float:
+    """Weighted split impurity of the multiway categorical split.
+
+    ``matrix`` is the (n_values, c) count matrix of §2; empty values form
+    no partition.  Returns ``inf`` when fewer than two values occur (no
+    valid split exists).
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    part_sizes = matrix.sum(axis=1)
+    occupied = part_sizes > 0.0
+    if int(occupied.sum()) < 2:
+        return float("inf")
+    n = part_sizes.sum()
+    imps = impurity(matrix, criterion)
+    return float(np.sum((part_sizes / n) * imps))
+
+
+def best_binary_subset(
+    matrix: np.ndarray, criterion: str = GINI, exhaustive_limit: int = 12
+) -> tuple[float, np.ndarray]:
+    """Best binary subset split of a categorical attribute (footnote 1).
+
+    Partitions the occurring values into {S, complement}; returns
+    ``(score, mask)`` where ``mask[v]`` is True for values routed left.
+    Exhaustive search over the 2^(k−1)−1 proper subsets of the k occurring
+    values when k ≤ ``exhaustive_limit``; otherwise the classic greedy
+    hill-climb (start empty, repeatedly move the value that improves the
+    score most).  Deterministic: ties prefer the lexicographically
+    smallest mask (lowest value indices first).
+
+    Returns ``(inf, zeros)`` when fewer than two values occur.
+    """
+    matrix = np.asarray(matrix, dtype=np.int64)
+    n_values = matrix.shape[0]
+    occurring = np.nonzero(matrix.sum(axis=1) > 0)[0]
+    k = len(occurring)
+    mask = np.zeros(n_values, dtype=bool)
+    if k < 2:
+        return float("inf"), mask
+    totals = matrix.sum(axis=0)
+
+    if k <= exhaustive_limit:
+        # enumerate masks over occurring values; fix value occurring[0] to
+        # the right side to halve the space (complementary masks are
+        # equivalent splits)
+        n_subsets = 1 << (k - 1)
+        best_score = float("inf")
+        best_bits = 0
+        for bits in range(1, n_subsets):
+            left = np.zeros_like(totals)
+            for b in range(k - 1):
+                if bits >> b & 1:
+                    left = left + matrix[occurring[b + 1]]
+            score = float(
+                split_score_from_left(left[None, :], totals[None, :],
+                                      criterion)[0]
+            )
+            if score < best_score:
+                best_score = score
+                best_bits = bits
+        for b in range(k - 1):
+            if best_bits >> b & 1:
+                mask[occurring[b + 1]] = True
+        return best_score, mask
+
+    # greedy: grow the left set while the score improves
+    in_left = np.zeros(k, dtype=bool)
+    left = np.zeros_like(totals)
+    best_score = float("inf")
+    improved = True
+    while improved:
+        improved = False
+        best_move = -1
+        move_score = best_score
+        for j in range(k):
+            if in_left[j]:
+                continue
+            if in_left.sum() == k - 1:
+                continue  # keep the right side non-empty
+            trial = left + matrix[occurring[j]]
+            score = float(
+                split_score_from_left(trial[None, :], totals[None, :],
+                                      criterion)[0]
+            )
+            if score < move_score:
+                move_score = score
+                best_move = j
+        if best_move >= 0:
+            in_left[best_move] = True
+            left = left + matrix[occurring[best_move]]
+            best_score = move_score
+            improved = True
+    if not in_left.any():  # no single move improved on inf: seed with first
+        in_left[0] = True
+        left = matrix[occurring[0]]
+        best_score = float(
+            split_score_from_left(left[None, :], totals[None, :], criterion)[0]
+        )
+    mask[occurring[in_left]] = True
+    return best_score, mask
+
+
+def best_categorical_split(
+    matrix: np.ndarray,
+    criterion: str = GINI,
+    *,
+    binary_subsets: bool = False,
+    exhaustive_limit: int = 12,
+) -> tuple[float, np.ndarray | None]:
+    """Best categorical candidate from a (n_values, c) count matrix.
+
+    Returns ``(score, left_mask)`` — ``left_mask`` is None for the multiway
+    (paper-default) split and the boolean left-subset mask in binary-subset
+    mode.  In ScalParC this runs on the attribute's designated coordinator
+    processor (§4); the serial reference calls the same function inline.
+    """
+    if binary_subsets:
+        return best_binary_subset(matrix, criterion, exhaustive_limit)
+    return split_score_multiway(matrix, criterion), None

@@ -1,0 +1,249 @@
+"""FindSplitI / FindSplitII: the split-determining phases (§3.2, §4).
+
+Per level of the tree, for every active node simultaneously:
+
+* **FindSplitI** — for each continuous attribute, compute the local count
+  matrix at the start of this rank's segment, then one parallel exclusive
+  prefix (exscan of the per-(node, class) counts in rank order) yields the
+  global count matrix at the rank's first split position.  For each
+  categorical attribute, local count matrices are reduced to a designated
+  coordinator processor.
+* **FindSplitII** — the termination criterion is applied per node; ranks
+  scan their local continuous segments one position at a time (vectorized
+  here) computing the split impurity at every *valid* position; the
+  coordinator scores categorical splits; a single allreduce with the
+  lexicographic BEST_SPLIT operator yields every node's global winner.
+
+Candidate validity for a continuous attribute at sorted position i:
+the predecessor value must be strictly smaller (splits never land inside a
+run of duplicates).  Predecessors at rank boundaries are resolved with a
+second tiny exscan carrying each rank's per-node (has-entries, last-value)
+pair — O(m) traffic per level, never O(N).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..runtime import Communicator, ReduceOp, reduction
+from .attribute_lists import LocalAttributeList
+from .config import InductionConfig
+from .criteria import best_categorical_split, split_score_from_left
+from .phases import FINDSPLIT1, FINDSPLIT2, timed_phase
+from .splits import BEST_SPLIT, candidate_beats, encode_mask, pack_candidates
+
+__all__ = [
+    "KEEP_LAST",
+    "node_class_totals",
+    "continuous_candidates",
+    "categorical_candidates",
+    "global_best_splits",
+    "coordinator_of",
+]
+
+#: exscan operator carrying "the most recent rank's (flag, value) row":
+#: rows with flag > 0 overwrite earlier rows elementwise
+KEEP_LAST = ReduceOp(
+    "keep_last",
+    lambda a, b: np.where(b[..., 0:1] > 0, b, a),
+    identity_like=lambda t: np.zeros_like(t),
+)
+
+
+def coordinator_of(attr_index: int, size: int) -> int:
+    """Designated coordinator rank for a categorical attribute (§4 assigns
+    one processor to combine that attribute's count matrices)."""
+    return attr_index % size
+
+
+def node_class_totals(
+    comm: Communicator, alist: LocalAttributeList, n_nodes: int, n_classes: int
+) -> np.ndarray:
+    """Global per-(active node, class) record counts, on every rank.
+
+    Any single attribute's lists cover every record exactly once, so one
+    bincount + allreduce gives the level's global class distribution.
+    """
+    local = np.bincount(
+        alist.entry_nodes() * n_classes + alist.labels,
+        minlength=n_nodes * n_classes,
+    ).reshape(n_nodes, n_classes)
+    comm.perf.add_compute("scan", alist.n_local)
+    comm.perf.transient_bytes(local.nbytes)
+    return comm.allreduce(local.astype(np.int64), reduction.SUM)
+
+
+def continuous_candidates(
+    comm: Communicator,
+    alist: LocalAttributeList,
+    totals: np.ndarray,
+    candidate_nodes: np.ndarray,
+    config: InductionConfig,
+) -> np.ndarray:
+    """Local-best continuous candidates per node for one attribute.
+
+    Returns an (n_nodes, 3) candidate matrix ``[score, attr, threshold]``
+    holding this rank's best valid split position per candidate node
+    (``inf`` rows where none exists).  Collective: performs two exscans.
+    """
+    n_nodes, n_classes = totals.shape
+    n_local = alist.n_local
+    nodes = alist.entry_nodes()
+    labels = alist.labels
+    values = alist.values
+
+    with timed_phase(comm.perf, FINDSPLIT1):
+        # FindSplitI: count matrix at the start of my fragment, per node
+        local_counts = np.bincount(
+            nodes * n_classes + labels, minlength=n_nodes * n_classes
+        ).reshape(n_nodes, n_classes).astype(np.int64)
+        below = comm.exscan(local_counts, reduction.SUM)
+
+        # boundary info: my per-node (has-entries, last-value) row
+        seg_sizes = np.diff(alist.offsets)
+        boundary = np.zeros((n_nodes, 2), dtype=np.float64)
+        nonempty = seg_sizes > 0
+        boundary[nonempty, 0] = 1.0
+        last_idx = np.minimum(alist.offsets[1:] - 1, n_local - 1)
+        if n_local:
+            boundary[nonempty, 1] = values[last_idx[nonempty]]
+        pred = comm.exscan(boundary, KEEP_LAST)
+        has_pred = pred[:, 0] > 0
+        pred_val = pred[:, 1]
+        comm.perf.transient_bytes(local_counts.nbytes + boundary.nbytes)
+
+    out = pack_candidates(n_nodes)
+    if n_local == 0:
+        return out
+
+    with timed_phase(comm.perf, FINDSPLIT2):
+        return _scan_candidates(
+            comm, alist, totals, candidate_nodes, config, out,
+            below, has_pred, pred_val, seg_sizes,
+        )
+
+
+def _scan_candidates(
+    comm: Communicator,
+    alist: LocalAttributeList,
+    totals: np.ndarray,
+    candidate_nodes: np.ndarray,
+    config: InductionConfig,
+    out: np.ndarray,
+    below: np.ndarray,
+    has_pred: np.ndarray,
+    pred_val: np.ndarray,
+    seg_sizes: np.ndarray,
+) -> np.ndarray:
+    """FindSplitII's local scan: score every valid split position of one
+    continuous attribute and keep the per-node best (helper of
+    :func:`continuous_candidates`)."""
+    n_nodes, n_classes = totals.shape
+    n_local = alist.n_local
+    nodes = alist.entry_nodes()
+    labels = alist.labels
+    values = alist.values
+    # exclusive per-class cumulative counts within each segment
+    excl = np.empty((n_local, n_classes), dtype=np.int64)
+    for j in range(n_classes):
+        onehot = labels == j
+        cum = np.cumsum(onehot)
+        excl[:, j] = cum - onehot
+    seg_starts = np.minimum(alist.offsets[:-1], max(n_local - 1, 0))
+    seg_base = excl[seg_starts]  # rows of empty segments are unused
+    left = below[nodes] + (excl - seg_base[nodes])
+    comm.perf.add_compute("scan", n_local * n_classes)
+    comm.perf.transient_bytes(excl.nbytes + left.nbytes)
+
+    # validity: strictly-larger value than the (global) predecessor
+    prev_val = np.empty(n_local, dtype=np.float64)
+    prev_val[1:] = values[:-1]
+    prev_val[0] = np.nan
+    is_seg_start = np.zeros(n_local, dtype=bool)
+    starts = alist.offsets[:-1][seg_sizes > 0]
+    is_seg_start[starts] = True
+    prev_val[starts] = pred_val[nodes[starts]]
+    valid = (
+        candidate_nodes[nodes]
+        & (is_seg_start <= has_pred[nodes])  # seg start needs a predecessor
+        & (values > np.where(np.isnan(prev_val), -np.inf, prev_val))
+    )
+    # NaN predecessors only occur at segment starts without predecessors,
+    # which the has_pred clause already rejects; the where() keeps the
+    # comparison well-defined.
+    if not valid.any():
+        return out
+
+    v_nodes = nodes[valid]
+    v_thr = values[valid]
+    scores = split_score_from_left(left[valid], totals[v_nodes],
+                                   config.criterion)
+    # per-node minimum by (score, threshold)
+    order = np.lexsort((v_thr, scores, v_nodes))
+    first = np.unique(v_nodes[order], return_index=True)[1]
+    pick = order[first]
+    winners = v_nodes[order][first]
+    out[winners, 0] = scores[pick]
+    out[winners, 1] = float(alist.attr_index)
+    out[winners, 2] = v_thr[pick]
+    return out
+
+
+def categorical_candidates(
+    comm: Communicator,
+    alist: LocalAttributeList,
+    candidate_nodes: np.ndarray,
+    n_classes: int,
+    config: InductionConfig,
+) -> tuple[np.ndarray, dict[int, tuple[np.ndarray, np.ndarray | None]]]:
+    """Candidates for one categorical attribute (coordinator-scored).
+
+    Local (node, value, class) count cubes are reduced to the attribute's
+    coordinator, which scores each candidate node (multiway or best binary
+    subset per config) and keeps the global count matrix + subset mask for
+    the later child-layout broadcast.
+
+    Returns ``(candidate_rows, coordinator_state)`` — ``coordinator_state``
+    maps node → (count matrix, mask) and is non-empty only on the
+    coordinator rank.
+    """
+    n_nodes = len(candidate_nodes)
+    n_values = alist.spec.n_values
+    nodes = alist.entry_nodes()
+    with timed_phase(comm.perf, FINDSPLIT1):
+        local = np.bincount(
+            (nodes * n_values + alist.values.astype(np.int64)) * n_classes
+            + alist.labels,
+            minlength=n_nodes * n_values * n_classes,
+        ).reshape(n_nodes, n_values, n_classes).astype(np.int64)
+        comm.perf.add_compute("scan", alist.n_local)
+        comm.perf.transient_bytes(local.nbytes)
+
+        root = coordinator_of(alist.attr_index, comm.size)
+        matrices = comm.reduce(local, reduction.SUM, root=root)
+
+    out = pack_candidates(n_nodes)
+    state: dict[int, tuple[np.ndarray, np.ndarray | None]] = {}
+    if comm.rank == root:
+        for k in np.nonzero(candidate_nodes)[0]:
+            score, mask = best_categorical_split(
+                matrices[k],
+                config.criterion,
+                binary_subsets=config.categorical_binary_subsets,
+                exhaustive_limit=config.subset_exhaustive_limit,
+            )
+            if np.isfinite(score):
+                out[k] = (
+                    score,
+                    float(alist.attr_index),
+                    encode_mask(mask) if mask is not None else 0.0,
+                )
+                state[int(k)] = (matrices[k], mask)
+    return out, state
+
+
+def global_best_splits(comm: Communicator, local_best: np.ndarray) -> np.ndarray:
+    """Allreduce the per-node candidate rows with the BEST_SPLIT operator —
+    FindSplitII's 'overall best splitting criteria for each node is found
+    using a parallel reduction operation'."""
+    return comm.allreduce(local_best, BEST_SPLIT)

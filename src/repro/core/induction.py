@@ -1,0 +1,211 @@
+"""Level-synchronous tree-induction driver (Figure 2).
+
+::
+
+    Presort
+    l = 0
+    do while (there are non-empty nodes at level l)
+        FindSplitI ; FindSplitII
+        PerformSplitI ; PerformSplitII
+        l = l + 1
+    end do
+
+Every rank runs this loop; all tree-shaping information (per-node class
+totals, winning splits, categorical child layouts) is global after the
+level's reductions, so every rank builds an identical copy of the decision
+tree — the driver returns rank 0's copy, and the test suite asserts the
+copies (and the serial reference's tree) are structurally equal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datagen.schema import Dataset
+from ..runtime import Communicator
+from ..tree.model import (
+    CategoricalSplit,
+    ContinuousSplit,
+    DecisionTree,
+    Leaf,
+    TreeNode,
+)
+from .attribute_lists import build_local_lists
+from .config import InductionConfig
+from .criteria import impurity
+from .findsplit import (
+    categorical_candidates,
+    continuous_candidates,
+    global_best_splits,
+    node_class_totals,
+)
+from .phases import FINDSPLIT1, FINDSPLIT2, PRESORT, timed_phase
+from .splits import candidate_beats, categorical_children_layout, pack_candidates
+from .splitter import LevelDecisions, ScalParCSplitPhase, SplitPhase
+
+__all__ = ["induce_worker"]
+
+
+def induce_worker(
+    comm: Communicator,
+    dataset: Dataset,
+    config: InductionConfig | None = None,
+    split_phase: SplitPhase | None = None,
+) -> DecisionTree:
+    """SPMD worker: induce the decision tree for ``dataset`` collectively.
+
+    Each rank operates on its ⌈N/p⌉ record block; the returned tree is
+    identical on every rank.  ``split_phase`` selects the splitting-phase
+    strategy (default: ScalParC's distributed node table; the parallel
+    SPRINT baseline plugs in its replicated table here).
+    """
+    config = config or InductionConfig()
+    split_phase = split_phase if split_phase is not None \
+        else ScalParCSplitPhase()
+    if dataset.n_records == 0:
+        raise ValueError("cannot induce a tree from an empty dataset")
+    if len(dataset.schema) == 0:
+        raise ValueError("dataset has no attributes")
+    schema = dataset.schema
+    n_classes = schema.n_classes
+
+    # Presort + initial distribution
+    with timed_phase(comm.perf, PRESORT):
+        lists, n_total = build_local_lists(comm, dataset)
+        split_phase.setup(comm, n_total)
+
+    root_holder: list[TreeNode | None] = [None]
+
+    def attach(node: TreeNode, parent: TreeNode | None, slot: int) -> None:
+        if parent is None:
+            root_holder[0] = node
+        else:
+            parent.children[slot] = node
+
+    # pending[k] = (parent node, child slot, depth) of active node k
+    pending: list[tuple[TreeNode | None, int, int]] = [(None, 0, 0)]
+    level = 0
+
+    while pending:
+        m = len(pending)
+        with timed_phase(comm.perf, FINDSPLIT1):
+            totals = node_class_totals(comm, lists[0], m, n_classes)
+        n_node = totals.sum(axis=1)
+        depth_of = np.array([d for (_, _, d) in pending], dtype=np.int64)
+
+        terminal = (totals.max(axis=1) == n_node) | (
+            n_node < config.min_split_records
+        )
+        if config.max_depth is not None:
+            terminal |= depth_of >= config.max_depth
+        candidate_nodes = ~terminal
+
+        # ---- FindSplitI + FindSplitII ---------------------------------
+        local_best = pack_candidates(m)
+        cat_state: dict[int, dict[int, tuple[np.ndarray, np.ndarray | None]]] = {}
+        if bool(candidate_nodes.any()):
+            for alist in lists:
+                if alist.spec.is_continuous:
+                    rows = continuous_candidates(
+                        comm, alist, totals, candidate_nodes, config
+                    )
+                else:
+                    rows, state = categorical_candidates(
+                        comm, alist, candidate_nodes, n_classes, config
+                    )
+                    if state:
+                        cat_state[alist.attr_index] = state
+                take = candidate_beats(rows, local_best)
+                local_best = np.where(take[:, None], rows, local_best)
+            with timed_phase(comm.perf, FINDSPLIT2):
+                best = global_best_splits(comm, local_best)
+        else:
+            best = local_best
+
+        parent_imp = impurity(totals, config.criterion)
+        split_ok = (
+            candidate_nodes
+            & np.isfinite(best[:, 0])
+            & (parent_imp - best[:, 0] >= config.min_improvement)
+        )
+
+        # ---- categorical child layouts from the coordinators -----------
+        my_layouts: dict[int, tuple[list[int], int, int]] = {}
+        for k in np.nonzero(split_ok)[0]:
+            attr = int(best[k, 1])
+            if not schema[attr].is_continuous and attr in cat_state \
+                    and int(k) in cat_state[attr]:
+                matrix, mask = cat_state[attr][int(k)]
+                v2c, n_children, default = categorical_children_layout(
+                    matrix, mask
+                )
+                my_layouts[int(k)] = (v2c.tolist(), n_children, default)
+        merged_layouts: dict[int, tuple[list[int], int, int]] = {}
+        if bool(split_ok.any()):
+            with timed_phase(comm.perf, FINDSPLIT2):
+                for part in comm.allgather(my_layouts):
+                    merged_layouts.update(part)
+
+        # ---- build this level's tree nodes (identically on every rank) --
+        winner_attr = np.full(m, -1, dtype=np.int64)
+        threshold = np.full(m, np.nan, dtype=np.float64)
+        cat_layout_arrays: dict[int, np.ndarray] = {}
+        child_base = np.zeros(m, dtype=np.int64)
+        n_next = 0
+        new_pending: list[tuple[TreeNode | None, int, int]] = []
+
+        for k in range(m):
+            parent, slot, depth = pending[k]
+            counts_k = totals[k]
+            if not split_ok[k]:
+                attach(
+                    Leaf(label=int(np.argmax(counts_k)),
+                         n_records=int(n_node[k]),
+                         class_counts=counts_k.copy(), depth=depth),
+                    parent, slot,
+                )
+                continue
+            attr = int(best[k, 1])
+            winner_attr[k] = attr
+            child_base[k] = n_next
+            if schema[attr].is_continuous:
+                threshold[k] = best[k, 2]
+                node: TreeNode = ContinuousSplit(
+                    attr_index=attr, threshold=float(best[k, 2]),
+                    n_records=int(n_node[k]), class_counts=counts_k.copy(),
+                    depth=depth, children=[None, None],
+                )
+                n_children = 2
+            else:
+                v2c_list, n_children, default = merged_layouts[k]
+                v2c = np.asarray(v2c_list, dtype=np.int32)
+                cat_layout_arrays[k] = v2c.astype(np.int64)
+                node = CategoricalSplit(
+                    attr_index=attr, value_to_child=v2c,
+                    n_records=int(n_node[k]), class_counts=counts_k.copy(),
+                    depth=depth, children=[None] * n_children,
+                    default_child=default,
+                )
+            attach(node, parent, slot)
+            for c in range(n_children):
+                new_pending.append((node, c, depth + 1))
+            n_next += n_children
+
+        # ---- PerformSplitI + PerformSplitII -----------------------------
+        if n_next:
+            decisions = LevelDecisions(
+                splitting=split_ok,
+                winner_attr=winner_attr,
+                threshold=threshold,
+                cat_layouts=cat_layout_arrays,
+                child_base=child_base,
+                n_next=n_next,
+            )
+            split_phase.execute(comm, lists, decisions, config)
+
+        pending = new_pending
+        comm.perf.mark_level(level)
+        level += 1
+
+    assert root_holder[0] is not None
+    return DecisionTree(schema=schema, root=root_holder[0])

@@ -1,0 +1,40 @@
+"""Phase attribution for the simulated clock (Figure 2's phase names).
+
+Wrapping a region in :func:`timed_phase` attributes the simulated-clock
+delta it spans to the named phase on this rank's tracker, letting the
+performance reports break the parallel runtime down into Presort /
+FindSplitI / FindSplitII / PerformSplitI / PerformSplitII — the
+per-phase table the paper's accompanying technical report studies.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "PRESORT",
+    "FINDSPLIT1",
+    "FINDSPLIT2",
+    "PERFORMSPLIT1",
+    "PERFORMSPLIT2",
+    "ALL_PHASES",
+    "timed_phase",
+]
+
+PRESORT = "Presort"
+FINDSPLIT1 = "FindSplitI"
+FINDSPLIT2 = "FindSplitII"
+PERFORMSPLIT1 = "PerformSplitI"
+PERFORMSPLIT2 = "PerformSplitII"
+ALL_PHASES = (PRESORT, FINDSPLIT1, FINDSPLIT2, PERFORMSPLIT1, PERFORMSPLIT2)
+
+
+@contextmanager
+def timed_phase(perf, name: str) -> Iterator[None]:
+    """Attribute the simulated time spent inside the block to ``name``."""
+    start = perf.clock
+    try:
+        yield
+    finally:
+        perf.add_phase_time(name, perf.clock - start)

@@ -1,0 +1,245 @@
+"""PerformSplitI / PerformSplitII: the splitting phase (§3.3.2, §4).
+
+Given every node's winning split:
+
+* **PerformSplitI** — the lists of splitting attributes are split locally
+  (each entry's child follows directly from the decision), hash buffers of
+  (record id → next-level node) pairs are formed, and the distributed node
+  table is updated through the parallel hashing paradigm — optionally in
+  blocked rounds of ≤ ⌈N/p⌉ updates per rank for memory scalability.
+* **PerformSplitII** — the lists of all non-splitting attributes are
+  split, one attribute at a time: the node table is enquired for each
+  entry's record id, and the returned next-level node drives a stable
+  local regroup of the list.
+
+Communication is batched **per level** (§3.1): one table update and one
+enquiry per attribute per level.  Setting
+``InductionConfig.per_node_communication`` issues them per tree node
+instead — the ablation showing the latency blow-up per-level batching
+avoids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..hashing import DistributedNodeTable
+from ..runtime import Communicator
+from .attribute_lists import LocalAttributeList
+from .config import InductionConfig
+from .phases import PERFORMSPLIT1, PERFORMSPLIT2, timed_phase
+
+__all__ = ["LevelDecisions", "perform_split", "SplitPhase", "ScalParCSplitPhase"]
+
+
+@dataclass
+class LevelDecisions:
+    """Per-active-node split decisions of one level (identical on every
+    rank; produced by the induction driver from global information)."""
+
+    #: nodes that split this level
+    splitting: np.ndarray
+    #: winning attribute index per node (−1 where not splitting)
+    winner_attr: np.ndarray
+    #: threshold per node (continuous winners only; NaN elsewhere)
+    threshold: np.ndarray
+    #: node → value_to_child array (categorical winners only)
+    cat_layouts: dict[int, np.ndarray] = field(default_factory=dict)
+    #: first next-level node id of each splitting node's children
+    child_base: np.ndarray = None
+    #: total number of next-level nodes
+    n_next: int = 0
+
+
+def _local_children(
+    alist: LocalAttributeList,
+    decisions: LevelDecisions,
+    node_filter: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Next-level node id of each local entry whose node's *winner* is this
+    attribute (restricted to ``node_filter``); returns (entry idx, ids).
+
+    This is the "split the list of the splitting attribute directly"
+    step — no table access needed (§2: the information is obtained from
+    the splitting decision and the record ids of the splitting attribute's
+    list).
+    """
+    nodes = alist.entry_nodes()
+    mine = decisions.splitting & (decisions.winner_attr == alist.attr_index) \
+        & node_filter
+    if not mine.any():
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+
+    sel_entries: list[np.ndarray] = []
+    sel_ids: list[np.ndarray] = []
+
+    if alist.spec.is_continuous:
+        sel = mine[nodes]
+        idx = np.nonzero(sel)[0]
+        if len(idx):
+            k = nodes[idx]
+            child = (alist.values[idx] >= decisions.threshold[k]).astype(np.int64)
+            sel_entries.append(idx)
+            sel_ids.append(decisions.child_base[k] + child)
+    else:
+        for k in np.nonzero(mine)[0]:
+            seg = alist.segment(k)
+            if seg.stop == seg.start:
+                continue
+            mapping = decisions.cat_layouts[int(k)]
+            child = mapping[alist.values[seg].astype(np.int64)]
+            sel_entries.append(np.arange(seg.start, seg.stop, dtype=np.int64))
+            sel_ids.append(decisions.child_base[k] + child.astype(np.int64))
+
+    if not sel_entries:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    return np.concatenate(sel_entries), np.concatenate(sel_ids)
+
+
+def perform_split(
+    comm: Communicator,
+    lists: list[LocalAttributeList],
+    table: DistributedNodeTable,
+    decisions: LevelDecisions,
+    config: InductionConfig,
+) -> None:
+    """Execute PerformSplitI + PerformSplitII for one level.
+
+    Collective: every rank must call with the identical ``decisions``.
+    On return, every attribute list is regrouped by next-level node and
+    entries of terminal nodes are dropped.
+    """
+    m = len(decisions.splitting)
+    if config.per_node_communication:
+        node_batches = [
+            np.arange(m) == k for k in np.nonzero(decisions.splitting)[0]
+        ]
+    else:
+        node_batches = [np.ones(m, dtype=bool)]
+
+    # --- PerformSplitI: split winner lists, update the node table ---------
+    split1_start = comm.perf.clock
+    winner_entries: list[tuple[np.ndarray, np.ndarray]] = []
+    for alist in lists:
+        entries, ids = _local_children(
+            alist, decisions, np.ones(m, dtype=bool)
+        )
+        winner_entries.append((entries, ids))
+        comm.perf.add_compute("split", len(entries))
+
+    for batch in node_batches:
+        rid_parts: list[np.ndarray] = []
+        id_parts: list[np.ndarray] = []
+        for alist, (entries, ids) in zip(lists, winner_entries):
+            if len(entries) == 0:
+                continue
+            if config.per_node_communication:
+                nodes = alist.entry_nodes()[entries]
+                sel = batch[nodes]
+                entries, ids = entries[sel], ids[sel]
+            rid_parts.append(alist.rids[entries])
+            id_parts.append(ids)
+        rids = np.concatenate(rid_parts) if rid_parts else \
+            np.empty(0, dtype=np.int64)
+        ids = np.concatenate(id_parts) if id_parts else \
+            np.empty(0, dtype=np.int64)
+        table.update(
+            rids, ids.astype(np.int32),
+            blocked=config.blocked_updates,
+            max_block=config.max_update_block,
+        )
+
+    comm.perf.add_phase_time(PERFORMSPLIT1, comm.perf.clock - split1_start)
+
+    # --- PerformSplitII: split the other lists via enquiry ----------------
+    split2_start = comm.perf.clock
+    new_nodes_per_list: list[np.ndarray] = []
+    lookup_masks: list[np.ndarray] = []
+    for alist, (entries, ids) in zip(lists, winner_entries):
+        nodes = alist.entry_nodes()
+        new_nodes = np.full(alist.n_local, -1, dtype=np.int64)
+        if len(entries):
+            new_nodes[entries] = ids
+        # entries of splitting nodes whose winner is another attribute
+        need = decisions.splitting & (decisions.winner_attr != alist.attr_index)
+        new_nodes_per_list.append(new_nodes)
+        lookup_masks.append(need[nodes])
+
+    if config.combined_enquiry:
+        # optimization: one enquiry covering every attribute's requests —
+        # identical bytes, a single all-to-all latency pair per level
+        all_rids = np.concatenate([
+            alist.rids[mask] for alist, mask in zip(lists, lookup_masks)
+        ]) if lists else np.empty(0, dtype=np.int64)
+        answers = table.lookup(all_rids).astype(np.int64)
+        offset = 0
+        for alist, mask, new_nodes in zip(lists, lookup_masks,
+                                          new_nodes_per_list):
+            count = int(mask.sum())
+            new_nodes[mask] = answers[offset:offset + count]
+            offset += count
+    else:
+        for alist, mask, new_nodes in zip(lists, lookup_masks,
+                                          new_nodes_per_list):
+            if config.per_node_communication:
+                nodes = alist.entry_nodes()
+                need = decisions.splitting & (
+                    decisions.winner_attr != alist.attr_index
+                )
+                for batch in node_batches:
+                    sub = (need & batch)[nodes]
+                    answers = table.lookup(alist.rids[sub])
+                    new_nodes[sub] = answers.astype(np.int64)
+            else:
+                answers = table.lookup(alist.rids[mask])
+                new_nodes[mask] = answers.astype(np.int64)
+
+    for alist, new_nodes in zip(lists, new_nodes_per_list):
+        comm.perf.add_compute("split", alist.n_local)
+        alist.reorder(new_nodes, decisions.n_next)
+        comm.perf.register_bytes(
+            f"attr_list[{alist.spec.name}]", alist.nbytes()
+        )
+    comm.perf.add_phase_time(PERFORMSPLIT2, comm.perf.clock - split2_start)
+
+
+class SplitPhase:
+    """Strategy interface for the splitting phase.
+
+    The induction driver (Figure 2) is agnostic to *how* attribute lists
+    learn their entries' next-level nodes; ScalParC's distributed node
+    table and parallel SPRINT's replicated table are two implementations.
+    """
+
+    def setup(self, comm: Communicator, n_total: int) -> None:
+        """Collective one-time initialization before level 0."""
+        raise NotImplementedError
+
+    def execute(
+        self,
+        comm: Communicator,
+        lists: list[LocalAttributeList],
+        decisions: LevelDecisions,
+        config: InductionConfig,
+    ) -> None:
+        """Collective PerformSplitI+II for one level."""
+        raise NotImplementedError
+
+
+class ScalParCSplitPhase(SplitPhase):
+    """The paper's splitting phase: distributed node table + parallel
+    hashing paradigm (O(N/p) memory and traffic per rank)."""
+
+    def __init__(self) -> None:
+        self.table: DistributedNodeTable | None = None
+
+    def setup(self, comm: Communicator, n_total: int) -> None:
+        self.table = DistributedNodeTable(comm, n_total)
+
+    def execute(self, comm, lists, decisions, config) -> None:
+        assert self.table is not None, "setup() must run before execute()"
+        perform_split(comm, lists, self.table, decisions, config)

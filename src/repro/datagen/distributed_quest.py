@@ -1,0 +1,129 @@
+"""Block-independent Quest generation: no rank ever holds the full set.
+
+The in-memory :func:`~repro.datagen.quest.generate_quest` materializes the
+whole training set on every rank — fine for tests, wrong for the paper's
+regime (6.4m records would not fit a 64 MB PE!).  A
+:class:`DistributedQuestSource` instead generates any record range on
+demand from counter-based random streams (one per raw attribute), so
+
+* rank r materializes exactly its ⌈N/p⌉ block, never the full dataset;
+* records are **bit-identical for every processor count** — record j's
+  attributes depend only on (seed, j), not on the block structure;
+* ScalParC accepts it anywhere a Dataset is accepted (it implements the
+  same ``n_records`` / ``schema`` / ``block`` protocol).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .counter_rng import counter_uniform, stream_key
+from .quest import FUNCTION_NAMES, PAPER_ATTRIBUTES, QUEST_SCHEMA, quest_labels
+from .schema import Dataset, Schema
+
+__all__ = ["DistributedQuestSource", "quest_block_columns"]
+
+#: fixed stream ids per raw column (order matters: keys must be stable)
+_STREAMS = {
+    "salary": 0, "commission": 1, "age": 2, "elevel": 3, "car": 4,
+    "zipcode": 5, "hvalue": 6, "hyears": 7, "loan": 8, "perturb_flag": 9,
+    "perturb_label": 10,
+}
+
+
+def quest_block_columns(lo: int, hi: int, seed: int) -> dict[str, np.ndarray]:
+    """Raw Quest columns for global records [lo, hi) — O(hi − lo) work,
+    independent of anything outside the range."""
+    idx = np.arange(lo, hi, dtype=np.uint64)
+
+    def u(name: str) -> np.ndarray:
+        return counter_uniform(stream_key(seed, _STREAMS[name]), idx)
+
+    salary = 20_000.0 + u("salary") * 130_000.0
+    commission = np.where(
+        salary >= 75_000.0, 0.0, 10_000.0 + u("commission") * 65_000.0
+    )
+    age = 20.0 + u("age") * 60.0
+    elevel = np.floor(u("elevel") * 5).astype(np.int32)
+    car = np.floor(u("car") * 20).astype(np.int32)
+    zipcode = np.floor(u("zipcode") * 9).astype(np.int32)
+    k = (zipcode + 1).astype(np.float64)
+    hvalue = (0.5 + u("hvalue")) * k * 100_000.0
+    hyears = 1.0 + u("hyears") * 29.0
+    loan = u("loan") * 500_000.0
+    return {
+        "salary": salary, "commission": commission, "age": age,
+        "elevel": elevel, "car": car, "zipcode": zipcode,
+        "hvalue": hvalue, "hyears": hyears, "loan": loan,
+    }
+
+
+class DistributedQuestSource:
+    """A Quest training set that exists only as a recipe.
+
+    Implements the dataset protocol (``n_records``, ``schema``,
+    ``block(rank, size)``) consumed by
+    :func:`repro.core.attribute_lists.build_local_lists`, generating each
+    block on first touch.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        function: str = "F2",
+        *,
+        seed: int = 0,
+        perturbation: float = 0.0,
+        attributes: tuple[str, ...] | None = PAPER_ATTRIBUTES,
+    ):
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        if function not in FUNCTION_NAMES:
+            raise ValueError(
+                f"unknown function {function!r}; expected {FUNCTION_NAMES}"
+            )
+        if not 0.0 <= perturbation <= 1.0:
+            raise ValueError("perturbation must be a probability")
+        self.n_records = n
+        self.function = function
+        self.seed = seed
+        self.perturbation = perturbation
+        self._names = (tuple(attributes) if attributes is not None
+                       else tuple(a.name for a in QUEST_SCHEMA))
+        self.schema: Schema = QUEST_SCHEMA.select(self._names)
+        self.name = f"quest-dist-{function}-n{n}-s{seed}"
+
+    def record_range(self, lo: int, hi: int) -> Dataset:
+        """Materialize global records [lo, hi) as a Dataset."""
+        lo = max(lo, 0)
+        hi = min(hi, self.n_records)
+        if hi < lo:
+            hi = lo
+        cols = quest_block_columns(lo, hi, self.seed)
+        labels = quest_labels(cols, self.function)
+        if self.perturbation > 0.0 and hi > lo:
+            idx = np.arange(lo, hi, dtype=np.uint64)
+            flip = counter_uniform(
+                stream_key(self.seed, _STREAMS["perturb_flag"]), idx
+            ) < self.perturbation
+            random_label = np.floor(
+                counter_uniform(
+                    stream_key(self.seed, _STREAMS["perturb_label"]), idx
+                ) * self.schema.n_classes
+            ).astype(np.int32)
+            labels = np.where(flip, random_label, labels).astype(np.int32)
+        return Dataset(
+            schema=self.schema,
+            columns=[cols[name] for name in self._names],
+            labels=labels,
+            name=self.name,
+        )
+
+    def block(self, rank: int, size: int) -> Dataset:
+        """Rank ``rank``'s ⌈N/p⌉ record block (the dataset protocol)."""
+        chunk = -(-self.n_records // size) if self.n_records else 0
+        return self.record_range(rank * chunk, (rank + 1) * chunk)
+
+    def materialize(self) -> Dataset:
+        """The full dataset in memory (tests / small runs only)."""
+        return self.record_range(0, self.n_records)

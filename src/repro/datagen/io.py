@@ -1,0 +1,90 @@
+"""Dataset persistence: npz (lossless) and csv (interchange).
+
+The paper's training sets were flat files of records; these helpers give
+examples and users a way to materialize/reload generated datasets without
+re-running the generator.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from .schema import AttributeSpec, Dataset, Schema
+
+__all__ = ["save_npz", "load_npz", "save_csv", "load_csv"]
+
+
+def save_npz(dataset: Dataset, path: str | Path) -> None:
+    """Write a dataset to a compressed ``.npz`` archive."""
+    payload: dict[str, np.ndarray] = {
+        "labels": dataset.labels,
+        "n_classes": np.int64(dataset.schema.n_classes),
+        "names": np.array([a.name for a in dataset.schema]),
+        "kinds": np.array([a.kind for a in dataset.schema]),
+        "n_values": np.array([a.n_values for a in dataset.schema],
+                             dtype=np.int64),
+        "name": np.array(dataset.name),
+    }
+    for i, col in enumerate(dataset.columns):
+        payload[f"col_{i}"] = col
+    np.savez_compressed(path, **payload)
+
+
+def load_npz(path: str | Path) -> Dataset:
+    """Load a dataset written by :func:`save_npz`."""
+    with np.load(path, allow_pickle=False) as archive:
+        names = [str(x) for x in archive["names"]]
+        kinds = [str(x) for x in archive["kinds"]]
+        n_values = archive["n_values"]
+        schema = Schema(
+            attributes=tuple(
+                AttributeSpec(n, k, n_values=int(v))
+                for n, k, v in zip(names, kinds, n_values)
+            ),
+            n_classes=int(archive["n_classes"]),
+        )
+        columns = [archive[f"col_{i}"] for i in range(len(names))]
+        return Dataset(
+            schema=schema,
+            columns=columns,
+            labels=archive["labels"],
+            name=str(archive["name"]),
+        )
+
+
+def save_csv(dataset: Dataset, path: str | Path) -> None:
+    """Write records as CSV with a header row; label column last."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([a.name for a in dataset.schema] + ["class"])
+        for j in range(dataset.n_records):
+            row = []
+            for spec, col in zip(dataset.schema, dataset.columns):
+                row.append(float(col[j]) if spec.is_continuous else int(col[j]))
+            row.append(int(dataset.labels[j]))
+            writer.writerow(row)
+
+
+def load_csv(path: str | Path, schema: Schema) -> Dataset:
+    """Load a CSV written by :func:`save_csv` (schema supplied by caller)."""
+    rows: list[list[str]] = []
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader)
+        expected = [a.name for a in schema] + ["class"]
+        if header != expected:
+            raise ValueError(f"CSV header {header} != schema {expected}")
+        rows = [row for row in reader if row]
+    n = len(rows)
+    columns: list[np.ndarray] = []
+    for i, spec in enumerate(schema):
+        if spec.is_continuous:
+            columns.append(np.array([float(r[i]) for r in rows]))
+        else:
+            columns.append(np.array([int(r[i]) for r in rows], dtype=np.int32))
+    labels = np.array([int(r[-1]) for r in rows], dtype=np.int32)
+    return Dataset(schema=schema, columns=columns, labels=labels,
+                   name=str(path))

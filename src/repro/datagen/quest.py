@@ -1,0 +1,263 @@
+"""IBM Quest / Agrawal et al. synthetic classification generator.
+
+The paper generates training sets "using a scheme similar to that used in
+SPRINT" (§5); SPRINT in turn uses the classic synthetic-data scheme of
+Agrawal, Imielinski & Swami ("Database Mining: A Performance Perspective",
+IEEE TKDE 1993): nine demographic attributes and ten predicate functions
+F1–F10 assigning each record to Group A or Group B.
+
+Attribute domains (the published ones):
+
+==========  ===========  =============================================
+attribute   kind         domain
+==========  ===========  =============================================
+salary      continuous   uniform 20,000 … 150,000
+commission  continuous   0 if salary ≥ 75,000 else uniform 10,000 … 75,000
+age         continuous   uniform 20 … 80
+elevel      categorical  uniform 0 … 4
+car         categorical  uniform 0 … 19 (20 makes)
+zipcode     categorical  uniform 0 … 8 (9 zipcodes)
+hvalue      continuous   uniform 0.5·k·100,000 … 1.5·k·100,000, k = zipcode+1
+hyears      continuous   uniform 1 … 30
+loan        continuous   uniform 0 … 500,000
+==========  ===========  =============================================
+
+The paper's runs use **seven attributes and two class labels**; which two
+attributes were dropped is not recorded, so :func:`paper_dataset` keeps the
+seven attributes every function F1–F10 can need except the two
+house-related ones (hvalue, hyears) — F1…F9 are computable from the
+remaining seven, and F2 (the usual demonstration function, used by
+SLIQ/SPRINT figures) is the default.
+
+Label noise: following SLIQ/SPRINT's perturbation, each record's class is
+flipped to a uniformly random class with probability ``perturbation``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .schema import CATEGORICAL, CONTINUOUS, AttributeSpec, Dataset, Schema
+
+__all__ = [
+    "QUEST_SCHEMA",
+    "PAPER_ATTRIBUTES",
+    "FUNCTION_NAMES",
+    "generate_quest",
+    "paper_dataset",
+    "quest_columns",
+    "quest_labels",
+]
+
+QUEST_SCHEMA = Schema(
+    attributes=(
+        AttributeSpec("salary", CONTINUOUS),
+        AttributeSpec("commission", CONTINUOUS),
+        AttributeSpec("age", CONTINUOUS),
+        AttributeSpec("elevel", CATEGORICAL, n_values=5),
+        AttributeSpec("car", CATEGORICAL, n_values=20),
+        AttributeSpec("zipcode", CATEGORICAL, n_values=9),
+        AttributeSpec("hvalue", CONTINUOUS),
+        AttributeSpec("hyears", CONTINUOUS),
+        AttributeSpec("loan", CONTINUOUS),
+    ),
+    n_classes=2,
+)
+
+#: the 7-attribute projection used for the paper-profile experiments
+PAPER_ATTRIBUTES = ("salary", "commission", "age", "elevel", "car",
+                    "zipcode", "loan")
+
+FUNCTION_NAMES = tuple(f"F{i}" for i in range(1, 11))
+
+
+def quest_columns(n: int, rng: np.random.Generator) -> dict[str, np.ndarray]:
+    """Draw the nine raw attribute columns for ``n`` records."""
+    salary = rng.uniform(20_000.0, 150_000.0, n)
+    commission = np.where(
+        salary >= 75_000.0, 0.0, rng.uniform(10_000.0, 75_000.0, n)
+    )
+    age = rng.uniform(20.0, 80.0, n)
+    elevel = rng.integers(0, 5, n).astype(np.int32)
+    car = rng.integers(0, 20, n).astype(np.int32)
+    zipcode = rng.integers(0, 9, n).astype(np.int32)
+    k = (zipcode + 1).astype(np.float64)
+    hvalue = rng.uniform(0.5, 1.5, n) * k * 100_000.0
+    hyears = rng.uniform(1.0, 30.0, n)
+    loan = rng.uniform(0.0, 500_000.0, n)
+    return {
+        "salary": salary, "commission": commission, "age": age,
+        "elevel": elevel, "car": car, "zipcode": zipcode,
+        "hvalue": hvalue, "hyears": hyears, "loan": loan,
+    }
+
+
+def _age_bands(age: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    young = age < 40.0
+    old = age >= 60.0
+    middle = ~young & ~old
+    return young, middle, old
+
+
+def _between(x: np.ndarray, lo: float, hi: float) -> np.ndarray:
+    return (x >= lo) & (x <= hi)
+
+
+def quest_labels(cols: dict[str, np.ndarray], function: str) -> np.ndarray:
+    """Group-A membership (class 1) under predicate function F1…F10."""
+    if function not in FUNCTION_NAMES:
+        raise ValueError(
+            f"unknown function {function!r}; expected one of {FUNCTION_NAMES}"
+        )
+    age = cols["age"]
+    salary = cols["salary"]
+    commission = cols["commission"]
+    elevel = cols["elevel"]
+    loan = cols["loan"]
+    young, middle, old = _age_bands(age)
+    total_income = salary + commission
+
+    if function == "F1":
+        group_a = young | old
+    elif function == "F2":
+        group_a = (
+            (young & _between(salary, 50_000, 100_000))
+            | (middle & _between(salary, 75_000, 125_000))
+            | (old & _between(salary, 25_000, 75_000))
+        )
+    elif function == "F3":
+        group_a = (
+            (young & (elevel <= 1))
+            | (middle & _between(elevel, 1, 3))
+            | (old & _between(elevel, 2, 4))
+        )
+    elif function == "F4":
+        group_a = (
+            (young & np.where(elevel <= 1,
+                              _between(salary, 25_000, 75_000),
+                              _between(salary, 50_000, 100_000)))
+            | (middle & np.where(_between(elevel, 1, 3),
+                                 _between(salary, 50_000, 100_000),
+                                 _between(salary, 75_000, 125_000)))
+            | (old & np.where(_between(elevel, 2, 4),
+                              _between(salary, 50_000, 100_000),
+                              _between(salary, 25_000, 75_000)))
+        )
+    elif function == "F5":
+        group_a = (
+            (young & np.where(_between(salary, 50_000, 100_000),
+                              _between(loan, 100_000, 300_000),
+                              _between(loan, 200_000, 400_000)))
+            | (middle & np.where(_between(salary, 75_000, 125_000),
+                                 _between(loan, 200_000, 400_000),
+                                 _between(loan, 300_000, 500_000)))
+            | (old & np.where(_between(salary, 25_000, 75_000),
+                              _between(loan, 300_000, 500_000),
+                              _between(loan, 100_000, 300_000)))
+        )
+    elif function == "F6":
+        group_a = (
+            (young & _between(total_income, 50_000, 100_000))
+            | (middle & _between(total_income, 75_000, 125_000))
+            | (old & _between(total_income, 25_000, 75_000))
+        )
+    elif function == "F7":
+        group_a = 0.67 * total_income - 0.2 * loan - 20_000.0 > 0
+    elif function == "F8":
+        group_a = 0.67 * total_income - 5_000.0 * elevel - 20_000.0 > 0
+    elif function == "F9":
+        group_a = (0.67 * total_income - 5_000.0 * elevel
+                   - 0.2 * loan - 10_000.0) > 0
+    elif function == "F10":
+        equity = 0.1 * cols["hvalue"] * np.maximum(cols["hyears"] - 20.0, 0.0)
+        group_a = (0.67 * total_income - 5_000.0 * elevel
+                   + 0.2 * equity - 10_000.0) > 0
+    else:
+        raise ValueError(
+            f"unknown function {function!r}; expected one of {FUNCTION_NAMES}"
+        )
+    return group_a.astype(np.int32)
+
+
+#: domain span of each continuous attribute (for attribute_noise scaling)
+_CONTINUOUS_SPANS = {
+    "salary": 130_000.0,
+    "commission": 65_000.0,
+    "age": 60.0,
+    "hvalue": 900_000.0,
+    "hyears": 29.0,
+    "loan": 500_000.0,
+}
+
+
+def generate_quest(
+    n: int,
+    function: str = "F2",
+    *,
+    seed: int = 0,
+    perturbation: float = 0.0,
+    attribute_noise: float = 0.0,
+    attributes: tuple[str, ...] | None = None,
+) -> Dataset:
+    """Generate a Quest dataset of ``n`` records labeled by ``function``.
+
+    Parameters
+    ----------
+    n:
+        Number of records.
+    function:
+        Predicate function ``"F1"`` … ``"F10"``.
+    seed:
+        RNG seed; generation is fully deterministic given (n, function,
+        seed, perturbation, attributes).
+    perturbation:
+        Probability of replacing each record's label with a uniformly
+        random class (SLIQ/SPRINT-style noise).
+    attribute_noise:
+        Agrawal-et-al-style value perturbation: every *continuous* value
+        is shifted by uniform ±(attribute_noise · domain span) after the
+        label is computed, blurring the concept boundaries without
+        touching the labels.  0 disables (default).
+    attributes:
+        Optional attribute-name subset/projection (labels are still
+        computed from the full schema, so dropped attributes make the
+        concept partially hidden — exactly what happens in the paper's
+        7-attribute runs if the function needs a dropped attribute).
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if not 0.0 <= perturbation <= 1.0:
+        raise ValueError("perturbation must be a probability")
+    if attribute_noise < 0.0:
+        raise ValueError("attribute_noise must be non-negative")
+    rng = np.random.default_rng(seed)
+    cols = quest_columns(n, rng)
+    labels = quest_labels(cols, function)
+    if perturbation > 0.0 and n:
+        flip = rng.random(n) < perturbation
+        labels = np.where(
+            flip, rng.integers(0, QUEST_SCHEMA.n_classes, n), labels
+        ).astype(np.int32)
+    if attribute_noise > 0.0 and n:
+        for name, span in _CONTINUOUS_SPANS.items():
+            jitter = rng.uniform(-1.0, 1.0, n) * attribute_noise * span
+            cols[name] = cols[name] + jitter
+    schema = QUEST_SCHEMA
+    if attributes is not None:
+        schema = QUEST_SCHEMA.select(attributes)
+        names = attributes
+    else:
+        names = tuple(a.name for a in QUEST_SCHEMA)
+    return Dataset(
+        schema=schema,
+        columns=[cols[name] for name in names],
+        labels=labels,
+        name=f"quest-{function}-n{n}-s{seed}",
+    )
+
+
+def paper_dataset(n: int, function: str = "F2", *, seed: int = 0,
+                  perturbation: float = 0.0) -> Dataset:
+    """The paper-profile training set: 7 attributes, 2 class labels (§5)."""
+    return generate_quest(n, function, seed=seed, perturbation=perturbation,
+                          attributes=PAPER_ATTRIBUTES)

@@ -1,0 +1,98 @@
+"""Random datasets for tests and property-based checks.
+
+Unlike the Quest generator these make *no* attempt at realism: they give
+hypothesis and the unit tests cheap, fully controllable mixed-type data —
+including adversarial shapes (constant columns, heavy duplication, single
+class) that exercise classifier edge cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .schema import CATEGORICAL, CONTINUOUS, AttributeSpec, Dataset, Schema
+
+__all__ = ["random_schema", "random_dataset", "make_dataset"]
+
+
+def random_schema(
+    rng: np.random.Generator,
+    *,
+    n_continuous: int | None = None,
+    n_categorical: int | None = None,
+    n_classes: int | None = None,
+    max_categories: int = 6,
+) -> Schema:
+    """Draw a small random schema (at least one attribute)."""
+    if n_continuous is None:
+        n_continuous = int(rng.integers(0, 4))
+    if n_categorical is None:
+        n_categorical = int(rng.integers(0 if n_continuous else 1, 4))
+    if n_continuous + n_categorical == 0:
+        n_continuous = 1
+    if n_classes is None:
+        n_classes = int(rng.integers(2, 5))
+    attrs: list[AttributeSpec] = []
+    for i in range(n_continuous):
+        attrs.append(AttributeSpec(f"c{i}", CONTINUOUS))
+    for i in range(n_categorical):
+        attrs.append(
+            AttributeSpec(f"g{i}", CATEGORICAL,
+                          n_values=int(rng.integers(2, max_categories + 1)))
+        )
+    return Schema(attributes=tuple(attrs), n_classes=n_classes)
+
+
+def random_dataset(
+    rng: np.random.Generator,
+    n: int,
+    schema: Schema | None = None,
+    *,
+    duplicate_heavy: bool = False,
+) -> Dataset:
+    """Random dataset over a (possibly random) schema.
+
+    ``duplicate_heavy=True`` draws continuous values from a tiny integer
+    grid so ties dominate — the hard case for split-candidate enumeration.
+    """
+    if schema is None:
+        schema = random_schema(rng)
+    columns: list[np.ndarray] = []
+    for spec in schema:
+        if spec.is_continuous:
+            if duplicate_heavy:
+                col = rng.integers(0, max(3, n // 8 + 2), n).astype(np.float64)
+            else:
+                col = rng.normal(0.0, 10.0, n)
+        else:
+            col = rng.integers(0, spec.n_values, n).astype(np.int32)
+        columns.append(col)
+    labels = rng.integers(0, schema.n_classes, n).astype(np.int32)
+    return Dataset(schema=schema, columns=columns, labels=labels,
+                   name="random")
+
+
+def make_dataset(
+    continuous: dict[str, list[float]] | None = None,
+    categorical: dict[str, tuple[list[int], int]] | None = None,
+    labels: list[int] | None = None,
+    n_classes: int = 2,
+) -> Dataset:
+    """Hand-buildable dataset for table-driven tests.
+
+    ``categorical`` maps name -> (codes, n_values).
+    """
+    attrs: list[AttributeSpec] = []
+    columns: list[np.ndarray] = []
+    for name, vals in (continuous or {}).items():
+        attrs.append(AttributeSpec(name, CONTINUOUS))
+        columns.append(np.asarray(vals, dtype=np.float64))
+    for name, (codes, n_values) in (categorical or {}).items():
+        attrs.append(AttributeSpec(name, CATEGORICAL, n_values=n_values))
+        columns.append(np.asarray(codes, dtype=np.int32))
+    return Dataset(
+        schema=Schema(attributes=tuple(attrs), n_classes=n_classes),
+        columns=columns,
+        labels=np.asarray(labels or [], dtype=np.int32),
+        name="handmade",
+    )

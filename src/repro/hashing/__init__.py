@@ -1,0 +1,22 @@
+"""The parallel hashing paradigm and its two table instantiations.
+
+* :mod:`~repro.hashing.paradigm` — batched construct/enquire over
+  all-to-all personalized communication (§3.3.1).
+* :class:`DistributedNodeTable` — the collision-free block-hashed
+  record-id → node mapping ScalParC's splitting phase uses (§3.3.2).
+* :class:`DistributedChainedHashTable` — the general open-chaining form,
+  demonstrating the paradigm's reusability.
+"""
+
+from .block_table import DistributedNodeTable
+from .chained_table import DistributedChainedHashTable, multiplicative_hash
+from .paradigm import exchange_enquire, exchange_update, group_by_destination
+
+__all__ = [
+    "DistributedChainedHashTable",
+    "DistributedNodeTable",
+    "exchange_enquire",
+    "exchange_update",
+    "group_by_destination",
+    "multiplicative_hash",
+]

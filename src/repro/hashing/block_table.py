@@ -1,0 +1,132 @@
+"""The distributed node table (§3.3.2): a collision-free block hash table.
+
+The node table maps every global record id ``j ∈ [0, N)`` to the tree node
+the record belongs to after a split.  ScalParC distributes it with the hash
+function
+
+    ``h(j) = (j div ⌈N/p⌉,  j mod ⌈N/p⌉)``
+
+i.e. rank ``j div ⌈N/p⌉`` stores the value at local slot ``j mod ⌈N/p⌉``.
+Since record ids are unique, the function is collision-free and each rank
+stores exactly its O(N/p) slice — the memory-scalability pillar of the
+algorithm.
+
+Updates and enquiries go through the parallel hashing paradigm
+(:mod:`repro.hashing.paradigm`); updates can be split into rounds of at
+most ``N/p`` entries per rank (:meth:`DistributedNodeTable.update`'s
+``blocked=True``), which keeps transient buffers O(N/p) even under the
+pathological split skew discussed at the end of §3.3.2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..runtime import Communicator
+from .paradigm import exchange_enquire, exchange_update
+
+__all__ = ["DistributedNodeTable"]
+
+
+class DistributedNodeTable:
+    """Distributed record-id → node mapping (value dtype int32).
+
+    Parameters
+    ----------
+    comm:
+        Communicator; every rank constructs the table collectively.
+    total_keys:
+        N, the global number of record ids.
+    fill:
+        Initial value of every slot (default −1 = "unassigned").
+    """
+
+    def __init__(self, comm: Communicator, total_keys: int, fill: int = -1):
+        if total_keys < 0:
+            raise ValueError(f"total_keys must be non-negative, got {total_keys}")
+        self.comm = comm
+        self.total_keys = int(total_keys)
+        self.chunk = -(-self.total_keys // comm.size) if self.total_keys else 1
+        start = min(comm.rank * self.chunk, self.total_keys)
+        stop = min(start + self.chunk, self.total_keys)
+        self.local_start = start
+        self.local = np.full(stop - start, fill, dtype=np.int32)
+        comm.perf.register_bytes(f"node_table", self.local.nbytes)
+
+    # -- hash function ------------------------------------------------------
+
+    def owner_of(self, keys: np.ndarray) -> np.ndarray:
+        """Destination rank of each key: ``j div ⌈N/p⌉``."""
+        return np.asarray(keys) // self.chunk
+
+    def slot_of(self, keys: np.ndarray) -> np.ndarray:
+        """Local slot of each key: ``j mod ⌈N/p⌉``."""
+        return np.asarray(keys) % self.chunk
+
+    def _check_keys(self, keys: np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys)
+        if len(keys) and (keys.min() < 0 or keys.max() >= self.total_keys):
+            raise IndexError(
+                f"record ids must lie in [0, {self.total_keys}); got range "
+                f"[{keys.min()}, {keys.max()}]"
+            )
+        return keys
+
+    # -- collective operations ----------------------------------------------
+
+    def update(self, keys: np.ndarray, values: np.ndarray,
+               *, blocked: bool = True,
+               max_block: int | None = None) -> int:
+        """Collectively write ``table[keys[i]] = values[i]``.
+
+        Every rank must call this (with possibly empty local batches).  With
+        ``blocked=True`` (the default, and the paper's choice) no rank sends
+        more than ``max_block`` (default ⌈N/p⌉) pairs per all-to-all round.
+        Returns the number of rounds used.
+        """
+        keys = self._check_keys(keys)
+        values = np.asarray(values, dtype=np.int32)
+        if len(keys) != len(values):
+            raise ValueError("keys and values must be entry-aligned")
+        block = (max_block or self.chunk) if blocked else None
+
+        def apply_fn(slots: np.ndarray, vals: np.ndarray) -> None:
+            self.local[slots] = vals
+
+        return exchange_update(
+            self.comm,
+            self.owner_of(keys),
+            self.slot_of(keys).astype(np.int32),
+            values,
+            apply_fn,
+            max_block=block,
+        )
+
+    def lookup(self, keys: np.ndarray) -> np.ndarray:
+        """Collectively read ``table[keys[i]]`` for this rank's keys.
+
+        Returns values aligned with ``keys``.  Every rank must call this
+        (possibly with an empty batch).
+        """
+        keys = self._check_keys(keys)
+
+        def lookup_fn(slots: np.ndarray) -> np.ndarray:
+            return self.local[slots]
+
+        out = exchange_enquire(
+            self.comm,
+            self.owner_of(keys),
+            self.slot_of(keys).astype(np.int32),
+            lookup_fn,
+        )
+        return out.astype(np.int32, copy=False)
+
+    # -- local access (tests / owners) ---------------------------------------
+
+    def local_slice(self) -> np.ndarray:
+        """This rank's slice of the table (a view; global ids
+        ``local_start + arange(len)``)."""
+        return self.local
+
+    def __len__(self) -> int:
+        return self.total_keys

@@ -1,0 +1,133 @@
+"""General distributed hash table with open chaining.
+
+§3.3.1 closes by noting the parallel hashing paradigm "can also support
+collisions by implementing open chaining at the indices l of the local
+hash tables" — i.e. it is a general-purpose primitive, not just the
+collision-free node table.  This class is that general form: arbitrary
+integer keys, a multiplicative hash onto a fixed slot space, per-slot
+chains on the owner ranks, and the same two bulk collectives (update /
+enquire) for concurrent access.
+
+ScalParC itself uses the collision-free
+:class:`~repro.hashing.block_table.DistributedNodeTable`; this table backs
+the paradigm's claim of reusability (and is exercised by its own tests and
+example).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..runtime import Communicator
+from .paradigm import exchange_enquire, exchange_update
+
+__all__ = ["DistributedChainedHashTable", "multiplicative_hash"]
+
+#: Fibonacci-hashing multiplier (Knuth), good avalanche on integer keys
+_KNUTH = np.uint64(0x9E3779B97F4A7C15)
+
+
+def multiplicative_hash(keys: np.ndarray, n_slots: int) -> np.ndarray:
+    """Hash int keys onto [0, n_slots) by Fibonacci multiplicative hashing."""
+    k = np.asarray(keys).astype(np.uint64)
+    with np.errstate(over="ignore"):
+        mixed = k * _KNUTH
+    mixed ^= mixed >> np.uint64(29)
+    return (mixed % np.uint64(n_slots)).astype(np.int64)
+
+
+class DistributedChainedHashTable:
+    """Distributed (int key → int value) map with per-slot open chaining.
+
+    Parameters
+    ----------
+    comm:
+        Communicator; constructed collectively.
+    n_slots:
+        Global slot count of the hash space (chains absorb collisions, so
+        this only tunes chain length, not correctness).
+    missing:
+        Value returned by :meth:`get` for absent keys.
+    """
+
+    def __init__(self, comm: Communicator, n_slots: int, missing: int = -1):
+        if n_slots <= 0:
+            raise ValueError(f"n_slots must be positive, got {n_slots}")
+        self.comm = comm
+        self.n_slots = int(n_slots)
+        self.chunk = -(-self.n_slots // comm.size)
+        self.missing = int(missing)
+        #: local chains: slot -> {key: value}
+        self._chains: dict[int, dict[int, int]] = {}
+
+    # -- hashing --------------------------------------------------------
+
+    def _dest_of(self, keys: np.ndarray) -> np.ndarray:
+        return multiplicative_hash(keys, self.n_slots) // self.chunk
+
+    # -- collective operations -------------------------------------------
+
+    def insert(self, keys: np.ndarray, values: np.ndarray,
+               *, max_block: int | None = None) -> None:
+        """Collectively insert/overwrite key→value pairs.
+
+        Later duplicates of a key within the same call win on their owner
+        (deterministic: batches apply in source-rank order, in-buffer
+        order within a batch).
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        values = np.asarray(values, dtype=np.int64)
+        if len(keys) != len(values):
+            raise ValueError("keys and values must be entry-aligned")
+
+        def apply_fn(recv_keys: np.ndarray, recv_values: np.ndarray) -> None:
+            slots = multiplicative_hash(recv_keys, self.n_slots)
+            local = slots % self.chunk
+            for slot, key, value in zip(local.tolist(), recv_keys.tolist(),
+                                        recv_values.tolist()):
+                self._chains.setdefault(slot, {})[key] = value
+
+        exchange_update(self.comm, self._dest_of(keys), keys, values,
+                        apply_fn, max_block=max_block)
+
+    def get(self, keys: np.ndarray) -> np.ndarray:
+        """Collectively look up this rank's keys; absent keys yield
+        ``missing``.  Answers align with ``keys``."""
+        keys = np.asarray(keys, dtype=np.int64)
+
+        def lookup_fn(recv_keys: np.ndarray) -> np.ndarray:
+            slots = multiplicative_hash(recv_keys, self.n_slots)
+            local = slots % self.chunk
+            out = np.empty(len(recv_keys), dtype=np.int64)
+            for i, (slot, key) in enumerate(zip(local.tolist(),
+                                                recv_keys.tolist())):
+                out[i] = self._chains.get(slot, {}).get(key, self.missing)
+            return out
+
+        return exchange_enquire(self.comm, self._dest_of(keys), keys, lookup_fn)
+
+    def delete(self, keys: np.ndarray) -> None:
+        """Collectively remove keys (absent keys are ignored)."""
+        keys = np.asarray(keys, dtype=np.int64)
+
+        def apply_fn(recv_keys: np.ndarray, _values: np.ndarray) -> None:
+            slots = multiplicative_hash(recv_keys, self.n_slots)
+            local = slots % self.chunk
+            for slot, key in zip(local.tolist(), recv_keys.tolist()):
+                chain = self._chains.get(slot)
+                if chain is not None:
+                    chain.pop(key, None)
+
+        exchange_update(self.comm, self._dest_of(keys), keys,
+                        np.zeros(len(keys), dtype=np.int64), apply_fn)
+
+    # -- local introspection ----------------------------------------------
+
+    def local_items(self) -> list[tuple[int, int]]:
+        """All (key, value) pairs stored on this rank."""
+        return [(k, v) for chain in self._chains.values()
+                for k, v in chain.items()]
+
+    def local_chain_lengths(self) -> np.ndarray:
+        """Lengths of this rank's non-empty chains (collision diagnostics)."""
+        return np.array([len(c) for c in self._chains.values()], dtype=np.int64)

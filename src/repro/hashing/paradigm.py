@@ -1,0 +1,165 @@
+"""The parallel hashing paradigm (§3.3.1): batched construct & enquire.
+
+The paradigm turns many concurrent hash-table operations into bulk
+collectives:
+
+* **update**: every rank hashes its (key, value) pairs to a (owner rank,
+  local slot) pair, fills one buffer per destination, and a single
+  all-to-all personalized communication delivers all updates; owners apply
+  them locally.
+* **enquire**: ranks send the local slots they need to the owners
+  (all-to-all #1); owners look the values up and send them back
+  (all-to-all #2); requesters realign the answers with their original key
+  order.
+
+With m keys per rank, both run in O(m) time provided m = Ω(p) — the
+scalability property ScalParC's splitting phase inherits.
+
+This module provides the *order-preserving machinery* shared by the
+collision-free node table and the general chained table: grouping keys by
+destination with a stable counting sort, round-splitting updates into
+blocks of bounded size (the paper's memory-scalability device, §3.3.2),
+and inverse permutations to restore request order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..runtime import Communicator, reduction
+
+__all__ = [
+    "group_by_destination",
+    "exchange_update",
+    "exchange_enquire",
+]
+
+
+def group_by_destination(
+    dest: np.ndarray, size: int, *arrays: np.ndarray
+) -> tuple[list[slice], list[np.ndarray], np.ndarray]:
+    """Stable-group entry-aligned arrays by destination rank.
+
+    Returns ``(sections, grouped_arrays, perm)`` where ``grouped_arrays[i]``
+    is ``arrays[i][perm]``, ``sections[d]`` slices destination ``d``'s
+    entries out of any grouped array, and ``perm`` is the stable
+    permutation applied (so ``np.argsort(perm)`` restores request order).
+
+    Implemented as a counting sort on the small integer ``dest`` — O(m + p),
+    matching the constant-per-key cost the paradigm's analysis assumes.
+    """
+    dest = np.asarray(dest)
+    counts = np.bincount(dest, minlength=size)
+    ends = np.cumsum(counts)
+    starts = ends - counts
+    perm = np.argsort(dest, kind="stable")
+    sections = [slice(int(starts[d]), int(ends[d])) for d in range(size)]
+    return sections, [np.asarray(a)[perm] for a in arrays], perm
+
+
+def exchange_update(
+    comm: Communicator,
+    dest: np.ndarray,
+    slots: np.ndarray,
+    values: np.ndarray,
+    apply_fn,
+    *,
+    max_block: int | None = None,
+) -> int:
+    """Deliver (slot, value) updates to their owner ranks and apply them.
+
+    Parameters
+    ----------
+    dest, slots, values:
+        Entry-aligned: update ``i`` writes ``values[i]`` at local slot
+        ``slots[i]`` of rank ``dest[i]``.
+    apply_fn:
+        ``apply_fn(slots, values)`` called on the owner for each received
+        batch.
+    max_block:
+        If given, no rank sends more than this many updates per all-to-all
+        round; ranks with more loop extra rounds (empty buffers from
+        finished ranks).  This is §3.3.2's blocking device: it bounds the
+        transient buffer memory by ``O(max_block)`` per rank even when one
+        rank must send ≫ N/p updates.
+
+    Returns
+    -------
+    int
+        Number of all-to-all rounds performed (≥ 1).
+    """
+    n = len(slots)
+    slots = np.asarray(slots)
+    values = np.asarray(values)
+    # one (l, v) pair per update, in a single buffer — one communication
+    # step per round, exactly as Figure 1(c)'s hash buffers
+    pair_dtype = np.promote_types(slots.dtype, values.dtype)
+    pairs = np.empty((n, 2), dtype=pair_dtype)
+    pairs[:, 0] = slots
+    pairs[:, 1] = values
+    sections, (g_pairs,), _ = group_by_destination(dest, comm.size, pairs)
+    comm.perf.add_compute("hash", n)
+
+    if max_block is None or max_block <= 0:
+        n_rounds = 1
+    else:
+        my_rounds = -(-n // max_block) if n else 0
+        n_rounds = max(int(comm.allreduce(np.int64(my_rounds), reduction.MAX)), 1)
+
+    per_round = -(-n // n_rounds) if n else 0
+    done = 0
+    for _ in range(n_rounds):
+        lo, hi = done, min(done + per_round, n)
+        done = hi
+        # clip each destination section to this round's [lo, hi) window
+        bufs = []
+        for d in range(comm.size):
+            s = sections[d]
+            a = max(s.start, lo)
+            b = min(s.stop, hi)
+            bufs.append(g_pairs[a:b] if a < b else g_pairs[:0])
+        received = comm.alltoallv(bufs)
+        for batch in received:
+            if len(batch):
+                apply_fn(batch[:, 0], batch[:, 1])
+                comm.perf.add_compute("table", len(batch))
+    return n_rounds
+
+
+def exchange_enquire(
+    comm: Communicator,
+    dest: np.ndarray,
+    slots: np.ndarray,
+    lookup_fn,
+) -> np.ndarray:
+    """Fetch values for (dest, slot) requests; answers in request order.
+
+    ``lookup_fn(slots) -> values`` runs on the owner rank for each received
+    batch.  Two all-to-all steps, exactly as Figure 1(d): enquiry buffers
+    out, intermediate index buffers looked up, intermediate value buffers
+    back, result buffers realigned.
+    """
+    n = len(slots)
+    sections, (g_slots,), perm = group_by_destination(dest, comm.size, slots)
+    comm.perf.add_compute("hash", n)
+
+    enquiry = [g_slots[sections[d]] for d in range(comm.size)]
+    received = comm.alltoallv(enquiry)  # intermediate index buffers
+
+    answers = []
+    for rs in received:
+        if len(rs):
+            out = lookup_fn(rs)
+            comm.perf.add_compute("table", len(rs))
+        else:
+            out = rs[:0]
+        answers.append(out)
+    result_groups = comm.alltoallv(answers)  # result buffers
+
+    if n == 0:
+        empty = result_groups[0][:0] if result_groups else np.empty(0)
+        return empty
+    grouped = np.concatenate(result_groups)
+    out = np.empty_like(grouped)
+    out[perm] = grouped  # undo the stable grouping
+    return out

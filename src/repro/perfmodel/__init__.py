@@ -1,0 +1,30 @@
+"""Analytical performance model (the repo's "Cray T3D" substrate).
+
+Prices the *measured* communication and computation of a simulated SPMD
+run with the paper's linear cost model, producing modeled parallel
+runtimes and per-processor memory watermarks — the quantities behind
+Figure 3(a) and Figure 3(b).
+
+See DESIGN.md §2 for why this substitution preserves the paper's
+evaluation shape.
+"""
+
+from .costmodel import collective_category, collective_cost, ptp_cost
+from .machine import CRAY_T3D, ZERO_LATENCY, MachineSpec, scale_machine
+from .report import SimulatedRunStats, format_bytes, format_seconds
+from .tracker import PerfRun, RankTracker
+
+__all__ = [
+    "CRAY_T3D",
+    "MachineSpec",
+    "PerfRun",
+    "RankTracker",
+    "SimulatedRunStats",
+    "ZERO_LATENCY",
+    "collective_category",
+    "collective_cost",
+    "format_bytes",
+    "format_seconds",
+    "ptp_cost",
+    "scale_machine",
+]

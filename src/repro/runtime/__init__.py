@@ -1,0 +1,56 @@
+"""Simulated SPMD message-passing runtime (the repo's "MPI" substrate).
+
+The ScalParC paper runs on MPI over a Cray T3D.  This package provides a
+faithful stand-in: logical ranks executed as synchronized threads, a full
+MPI-1-style collective library over numpy buffers, point-to-point
+messaging, collective-order verification, and observer hooks that the
+performance model uses to price every byte that moves.
+
+Quick use::
+
+    from repro.runtime import run_spmd, reduction
+
+    def worker(comm):
+        total = comm.allreduce(np.int64(comm.rank), reduction.SUM)
+        return int(total)
+
+    assert run_spmd(4, worker) == [6, 6, 6, 6]
+"""
+
+from . import reduction
+from .communicator import Communicator, NullPerf
+from .errors import (
+    CollectiveAbortedError,
+    CollectiveMismatchError,
+    InvalidRankError,
+    SpmdError,
+    SpmdWorkerError,
+)
+from .payload import payload_nbytes
+from .reduction import ReduceOp, make_op
+from .thread_engine import (
+    ANY_TAG,
+    CommObserver,
+    Request,
+    ThreadCommunicator,
+    run_spmd,
+)
+
+__all__ = [
+    "ANY_TAG",
+    "CollectiveAbortedError",
+    "CollectiveMismatchError",
+    "CommObserver",
+    "Communicator",
+    "InvalidRankError",
+    "NullPerf",
+    "ReduceOp",
+    "Request",
+    "SpmdError",
+    "SpmdWorkerError",
+    "ThreadCommunicator",
+    "make_op",
+    "payload_nbytes",
+    "reduction",
+    "run_spmd",
+]

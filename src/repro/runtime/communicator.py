@@ -1,0 +1,361 @@
+"""Abstract communicator: the MPI-like API every engine implements.
+
+All of ScalParC (and the parallel SPRINT baseline) is written against this
+interface, exactly as the paper's implementation is written against MPI.
+The interface is deliberately a faithful subset of MPI-1 collectives plus
+blocking point-to-point, with numpy arrays as the preferred payload type
+(mirroring mpi4py's buffer-based upper-case methods).
+
+Engines implement two primitives:
+
+* :meth:`Communicator._exchange` — a synchronous, order-checked rendezvous
+  of all ranks, with a combine function applied once per step; and
+* :meth:`Communicator.send` / :meth:`Communicator.recv` — blocking
+  point-to-point.
+
+Everything else (bcast, gather, allgather(v), scatter, reduce, allreduce,
+scan, exscan, alltoall(v), barrier) is built here on top of ``_exchange``,
+so semantics and accounting are engine-independent.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .errors import InvalidRankError
+from .payload import payload_nbytes
+from .reduction import ReduceOp
+
+__all__ = ["Communicator", "NullPerf"]
+
+# type of the byte-accounting callback: contributions -> (sent, recv) per rank
+_BytesFn = Callable[[list], tuple[list[int], list[int]]]
+
+
+class NullPerf:
+    """No-op performance tracker used when no perf model is attached.
+
+    Lets algorithm code call ``comm.perf.add_compute(...)`` etc.
+    unconditionally.
+    """
+
+    def add_compute(self, kind: str, count: float) -> None:
+        """No-op (unpriced run)."""
+
+    def register_bytes(self, tag: str, nbytes: int) -> None:
+        """No-op (unpriced run)."""
+
+    def release_bytes(self, tag: str) -> None:
+        """No-op (unpriced run)."""
+
+    def transient_bytes(self, nbytes: int) -> None:
+        """No-op (unpriced run)."""
+
+    def mark_level(self, label: object) -> None:
+        """No-op (unpriced run)."""
+
+    def add_phase_time(self, name: str, seconds: float) -> None:
+        """No-op (unpriced run)."""
+
+    #: NullPerf has no simulated clock; phase timers read this constant
+    clock = 0.0
+
+
+_NULL_PERF = NullPerf()
+
+
+class Communicator(ABC):
+    """A fixed group of ``size`` SPMD ranks; this handle belongs to ``rank``.
+
+    Collectives must be called by *every* rank of the communicator, in the
+    same order with matching metadata (op name, root, reduction operator);
+    violations raise :class:`~repro.runtime.errors.CollectiveMismatchError`
+    on all ranks instead of deadlocking.
+    """
+
+    def __init__(self, rank: int, size: int, perf: Any | None = None):
+        if size <= 0:
+            raise ValueError(f"communicator size must be positive, got {size}")
+        if not 0 <= rank < size:
+            raise InvalidRankError(f"rank {rank} outside [0, {size})")
+        self.rank = rank
+        self.size = size
+        #: per-rank performance tracker (duck-typed; see perfmodel.RankTracker)
+        self.perf = perf if perf is not None else _NULL_PERF
+
+    # ------------------------------------------------------------------
+    # engine primitives
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def _exchange(
+        self,
+        op: str,
+        payload: Any,
+        combine: Callable[[list], list],
+        comm_bytes: _BytesFn | None = None,
+    ) -> Any:
+        """Rendezvous all ranks; ``combine(contributions)`` runs exactly once
+        per step (on the last arriving rank) and returns the per-rank result
+        list.  Returns this rank's entry."""
+
+    @abstractmethod
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking-buffered point-to-point send (MPI_Send with buffering)."""
+
+    @abstractmethod
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Blocking point-to-point receive matching (source, tag) in FIFO
+        order per (source, tag) channel."""
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+
+    def _check_root(self, root: int) -> None:
+        if not 0 <= root < self.size:
+            raise InvalidRankError(f"root {root} outside [0, {self.size})")
+
+    def barrier(self) -> None:
+        """Block until every rank has entered the barrier."""
+        self._exchange("barrier", None, lambda c: [None] * len(c))
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast *obj* from *root*; every rank returns root's object.
+
+        Non-root ranks' ``obj`` argument is ignored (pass ``None``).
+        """
+        self._check_root(root)
+
+        def combine(contribs: list) -> list:
+            return [contribs[root]] * len(contribs)
+
+        def comm_bytes(contribs: list) -> tuple[list[int], list[int]]:
+            n = payload_nbytes(contribs[root])
+            sent = [0] * self.size
+            sent[root] = n * (self.size - 1)
+            recv = [n] * self.size
+            recv[root] = 0
+            return sent, recv
+
+        return self._exchange(f"bcast(root={root})", obj, combine, comm_bytes)
+
+    def gather(self, obj: Any, root: int = 0) -> list | None:
+        """Gather one object per rank to *root*; root returns the list in
+        rank order, others return ``None``."""
+        self._check_root(root)
+
+        def combine(contribs: list) -> list:
+            out: list = [None] * len(contribs)
+            out[root] = list(contribs)
+            return out
+
+        def comm_bytes(contribs: list) -> tuple[list[int], list[int]]:
+            sizes = [payload_nbytes(c) for c in contribs]
+            sent = list(sizes)
+            sent[root] = 0
+            recv = [0] * self.size
+            recv[root] = sum(sizes) - sizes[root]
+            return sent, recv
+
+        return self._exchange(f"gather(root={root})", obj, combine, comm_bytes)
+
+    def allgather(self, obj: Any) -> list:
+        """Gather one object per rank onto every rank (rank order)."""
+
+        def combine(contribs: list) -> list:
+            shared = list(contribs)
+            return [shared] * len(contribs)
+
+        def comm_bytes(contribs: list) -> tuple[list[int], list[int]]:
+            sizes = [payload_nbytes(c) for c in contribs]
+            total = sum(sizes)
+            sent = [s * (self.size - 1) for s in sizes]
+            recv = [total - s for s in sizes]
+            return sent, recv
+
+        return self._exchange("allgather", obj, combine, comm_bytes)
+
+    def allgatherv(self, arr: np.ndarray) -> np.ndarray:
+        """Concatenate per-rank 1-D (or same-trailing-shape) arrays onto
+        every rank, in rank order."""
+        arr = np.asarray(arr)
+
+        def combine(contribs: list) -> list:
+            merged = np.concatenate([np.asarray(c) for c in contribs])
+            return [merged] * len(contribs)
+
+        def comm_bytes(contribs: list) -> tuple[list[int], list[int]]:
+            sizes = [int(np.asarray(c).nbytes) for c in contribs]
+            total = sum(sizes)
+            sent = [s * (self.size - 1) for s in sizes]
+            recv = [total - s for s in sizes]
+            return sent, recv
+
+        return self._exchange("allgatherv", arr, combine, comm_bytes)
+
+    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
+        """Scatter ``objs[i]`` from *root* to rank ``i``; returns this
+        rank's item.  Non-root ranks pass ``None``."""
+        self._check_root(root)
+
+        def combine(contribs: list) -> list:
+            items = contribs[root]
+            if items is None or len(items) != self.size:
+                raise ValueError(
+                    f"scatter root must supply exactly {self.size} items"
+                )
+            return list(items)
+
+        def comm_bytes(contribs: list) -> tuple[list[int], list[int]]:
+            items = contribs[root]
+            sizes = [payload_nbytes(x) for x in items]
+            sent = [0] * self.size
+            sent[root] = sum(sizes) - sizes[root]
+            recv = list(sizes)
+            recv[root] = 0
+            return sent, recv
+
+        return self._exchange(f"scatter(root={root})", objs, combine, comm_bytes)
+
+    # -- reductions -----------------------------------------------------
+
+    def _reduce_bytes(self, contribs: list) -> tuple[list[int], list[int]]:
+        # tree reduction: every rank sends/receives O(log p) messages of its
+        # payload size; we account one up-edge per non-root rank (the cost
+        # model separately prices the log-p latency factor).
+        sizes = [payload_nbytes(c) for c in contribs]
+        return list(sizes), list(sizes)
+
+    def reduce(self, value: Any, op: ReduceOp, root: int = 0) -> Any:
+        """Reduce numpy values elementwise with *op*; result only at root."""
+        self._check_root(root)
+
+        def combine(contribs: list) -> list:
+            total = op.reduce(contribs)
+            out: list = [None] * len(contribs)
+            out[root] = total
+            return out
+
+        return self._exchange(
+            f"reduce(op={op.name},root={root})", value, combine, self._reduce_bytes
+        )
+
+    def allreduce(self, value: Any, op: ReduceOp) -> Any:
+        """Reduce with *op*; every rank gets the result (a private copy)."""
+
+        def combine(contribs: list) -> list:
+            total = op.reduce(contribs)
+            return [total.copy() if isinstance(total, np.ndarray) else total
+                    for _ in contribs]
+
+        return self._exchange(
+            f"allreduce(op={op.name})", value, combine, self._reduce_bytes
+        )
+
+    def exscan(self, value: Any, op: ReduceOp) -> Any:
+        """Exclusive prefix reduction: rank r gets fold of ranks < r
+        (rank 0 gets the operator identity)."""
+
+        def combine(contribs: list) -> list:
+            return op.exscan(contribs)
+
+        return self._exchange(
+            f"exscan(op={op.name})", value, combine, self._reduce_bytes
+        )
+
+    def scan(self, value: Any, op: ReduceOp) -> Any:
+        """Inclusive prefix reduction: rank r gets fold of ranks <= r."""
+
+        def combine(contribs: list) -> list:
+            return op.scan(contribs)
+
+        return self._exchange(
+            f"scan(op={op.name})", value, combine, self._reduce_bytes
+        )
+
+    def reduce_scatter(self, value: np.ndarray, op: ReduceOp) -> np.ndarray:
+        """Elementwise-reduce a (size, …) array over ranks, then scatter:
+        rank r receives row r of the total (MPI_Reduce_scatter_block).
+
+        Every rank contributes an array whose first axis has length
+        ``size``.
+        """
+        value = np.asarray(value)
+        if value.shape[0] != self.size:
+            raise ValueError(
+                f"reduce_scatter needs a leading axis of length {self.size}"
+            )
+
+        def combine(contribs: list) -> list:
+            total = op.reduce(contribs)
+            return [total[r].copy() for r in range(self.size)]
+
+        def comm_bytes(contribs: list) -> tuple[list[int], list[int]]:
+            sizes = [payload_nbytes(c) for c in contribs]
+            row = sizes[0] // self.size if self.size else 0
+            return list(sizes), [row] * self.size
+
+        return self._exchange(
+            f"reduce_scatter(op={op.name})", value, combine, comm_bytes
+        )
+
+    def sendrecv(self, obj: Any, dest: int, source: int, tag: int = 0) -> Any:
+        """Combined send+receive (MPI_Sendrecv): ship ``obj`` to ``dest``
+        and return the object received from ``source``; safe against the
+        cyclic-shift deadlock blocking sends would cause."""
+        self.send(obj, dest, tag)
+        return self.recv(source, tag)
+
+    # -- all-to-all personalized -----------------------------------------
+
+    def alltoall(self, objs: Sequence[Any]) -> list:
+        """Personalized exchange: rank i's ``objs[j]`` is delivered to rank
+        j; returns the list indexed by source rank."""
+        if len(objs) != self.size:
+            raise ValueError(f"alltoall needs exactly {self.size} items")
+
+        def combine(contribs: list) -> list:
+            return [[contribs[i][j] for i in range(self.size)]
+                    for j in range(self.size)]
+
+        def comm_bytes(contribs: list) -> tuple[list[int], list[int]]:
+            sent = [0] * self.size
+            recv = [0] * self.size
+            for i in range(self.size):
+                for j in range(self.size):
+                    if i == j:
+                        continue
+                    n = payload_nbytes(contribs[i][j])
+                    sent[i] += n
+                    recv[j] += n
+            return sent, recv
+
+        return self._exchange("alltoall", list(objs), combine, comm_bytes)
+
+    def alltoallv(self, arrays: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Personalized exchange of numpy arrays (MPI_Alltoallv): rank i's
+        ``arrays[j]`` goes to rank j; returns arrays indexed by source."""
+        if len(arrays) != self.size:
+            raise ValueError(f"alltoallv needs exactly {self.size} arrays")
+
+        def combine(contribs: list) -> list:
+            return [[contribs[i][j] for i in range(self.size)]
+                    for j in range(self.size)]
+
+        def comm_bytes(contribs: list) -> tuple[list[int], list[int]]:
+            sent = [0] * self.size
+            recv = [0] * self.size
+            for i in range(self.size):
+                for j in range(self.size):
+                    if i == j:
+                        continue
+                    n = int(np.asarray(contribs[i][j]).nbytes)
+                    sent[i] += n
+                    recv[j] += n
+            return sent, recv
+
+        return self._exchange("alltoallv", list(arrays), combine, comm_bytes)

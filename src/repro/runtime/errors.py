@@ -1,0 +1,62 @@
+"""Exception hierarchy for the simulated SPMD runtime.
+
+The runtime mimics an MPI job: a fixed set of logical ranks that interact
+only through collectives and point-to-point messages.  Errors fall into two
+groups:
+
+* programming errors detected by the runtime itself (mismatched collective
+  sequences, bad ranks/tags), raised on the offending rank; and
+* *aborts*: when one rank dies, every other rank that is blocked (or later
+  blocks) inside a communication call is released with
+  :class:`CollectiveAbortedError`, so the whole SPMD job tears down instead
+  of deadlocking — the analogue of ``MPI_Abort``.
+"""
+
+from __future__ import annotations
+
+
+class SpmdError(Exception):
+    """Base class for all errors raised by the simulated runtime."""
+
+
+class CollectiveMismatchError(SpmdError):
+    """Ranks issued different collectives (or different metadata) in the
+    same step.
+
+    MPI requires every member of a communicator to call collectives in the
+    same order; real MPI deadlocks or corrupts data when this is violated.
+    The simulated runtime detects the mismatch and raises on every rank.
+    """
+
+
+class CollectiveAbortedError(SpmdError):
+    """A peer rank raised an exception, aborting the whole SPMD job.
+
+    Carries the original exception as ``__cause__`` where available.
+    """
+
+    def __init__(self, message: str, origin_rank: int | None = None):
+        super().__init__(message)
+        self.origin_rank = origin_rank
+
+
+class InvalidRankError(SpmdError, ValueError):
+    """A rank argument was outside ``[0, size)``."""
+
+
+class MessageTruncatedError(SpmdError):
+    """A receive buffer was too small for the matched message."""
+
+
+class SpmdWorkerError(SpmdError):
+    """Wrapper re-raised by :func:`repro.runtime.run_spmd` when one or more
+    worker ranks failed; ``failures`` maps rank -> exception."""
+
+    def __init__(self, failures: dict[int, BaseException]):
+        ranks = ", ".join(str(r) for r in sorted(failures))
+        first = failures[min(failures)]
+        super().__init__(
+            f"SPMD worker(s) on rank(s) {ranks} failed; "
+            f"first failure: {type(first).__name__}: {first}"
+        )
+        self.failures = failures

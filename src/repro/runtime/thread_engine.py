@@ -1,0 +1,432 @@
+"""Thread-based SPMD engine: runs ``size`` logical ranks as Python threads.
+
+Each rank executes the same worker function against a
+:class:`~repro.runtime.communicator.Communicator` handle, exactly like an
+MPI process against ``MPI_COMM_WORLD``.  Ranks interact *only* through the
+communicator; the engine synchronizes them with a single rendezvous object
+per collective step (all ranks must issue collectives in the same order —
+an MPI requirement the engine actively verifies).
+
+Determinism: every collective is a full barrier, and all cross-rank data
+flow happens inside the rendezvous under one lock, so results are
+independent of OS thread scheduling.
+
+An optional *observer* receives one callback per collective step (with
+per-rank byte counts) and per point-to-point delivery; the performance
+model (:mod:`repro.perfmodel`) plugs in here to price traffic and advance
+the simulated clocks of all ranks in lock-step.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Callable, Protocol, Sequence
+
+from .communicator import Communicator
+from .errors import (
+    CollectiveAbortedError,
+    CollectiveMismatchError,
+    InvalidRankError,
+    SpmdWorkerError,
+)
+from .payload import payload_nbytes
+
+__all__ = ["ThreadCommunicator", "CommObserver", "Request", "run_spmd"]
+
+#: any tag matches in recv when passed as the tag argument
+ANY_TAG = -1
+
+_WAIT_TIMEOUT = 120.0  # seconds before a stuck rendezvous raises
+
+
+class CommObserver(Protocol):
+    """Callbacks invoked by the engine, always under the engine lock and
+    exactly once per communication event (regardless of rank count)."""
+
+    def on_collective(
+        self, op: str, sent: list[int], recv: list[int], size: int
+    ) -> None:
+        """One collective step completed; byte counts are per rank."""
+
+    def on_ptp(self, source: int, dest: int, nbytes: int) -> None:
+        """One point-to-point message was delivered."""
+
+
+class _Rendezvous:
+    """All-ranks meeting point executing one collective step at a time."""
+
+    def __init__(self, size: int, observer: CommObserver | None):
+        self.size = size
+        self.observer = observer
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._generation = 0
+        self._arrived = 0
+        self._op: str | None = None
+        self._contribs: list = [None] * size
+        self._results: list = []
+        self._error: BaseException | None = None
+
+    def abort(self, exc: BaseException, origin_rank: int) -> None:
+        """Mark the job failed and wake every waiting rank."""
+        with self._cond:
+            if self._error is None:
+                err = CollectiveAbortedError(
+                    f"rank {origin_rank} aborted: {type(exc).__name__}: {exc}",
+                    origin_rank=origin_rank,
+                )
+                err.__cause__ = exc
+                self._error = err
+            self._cond.notify_all()
+
+    def run(
+        self,
+        rank: int,
+        op: str,
+        payload: Any,
+        combine: Callable[[list], list],
+        comm_bytes: Callable[[list], tuple[list[int], list[int]]] | None,
+    ) -> Any:
+        with self._cond:
+            if self._error is not None:
+                raise self._error
+            gen = self._generation
+            if self._arrived == 0:
+                self._op = op
+            elif op != self._op:
+                exc = CollectiveMismatchError(
+                    f"rank {rank} called {op!r} while peers are in {self._op!r}"
+                )
+                self._error = exc
+                self._cond.notify_all()
+                raise exc
+            self._contribs[rank] = payload
+            self._arrived += 1
+            if self._arrived == self.size:
+                contribs = self._contribs
+                try:
+                    results = combine(contribs)
+                    if len(results) != self.size:
+                        raise AssertionError(
+                            f"combine for {op!r} returned {len(results)} results"
+                        )
+                    if self.observer is not None:
+                        if comm_bytes is not None:
+                            sent, recv = comm_bytes(contribs)
+                        else:
+                            sent = recv = [0] * self.size
+                        self.observer.on_collective(op, sent, recv, self.size)
+                except BaseException as exc:  # propagate to every rank
+                    self._error = CollectiveAbortedError(
+                        f"collective {op!r} failed on combining rank {rank}: {exc}",
+                        origin_rank=rank,
+                    )
+                    self._error.__cause__ = exc
+                    self._cond.notify_all()
+                    raise self._error
+                self._results = results
+                self._contribs = [None] * self.size
+                self._arrived = 0
+                self._generation += 1
+                self._cond.notify_all()
+                return results[rank]
+            # wait for the step to complete
+            while self._generation == gen and self._error is None:
+                if not self._cond.wait(timeout=_WAIT_TIMEOUT):
+                    raise CollectiveAbortedError(
+                        f"rank {rank} timed out inside collective {op!r} "
+                        f"({self._arrived}/{self.size} ranks arrived)"
+                    )
+            if self._error is not None:
+                raise self._error
+            return self._results[rank]
+
+
+class _Mailboxes:
+    """Point-to-point channels: one FIFO per destination rank."""
+
+    def __init__(self, size: int, observer: CommObserver | None):
+        self.size = size
+        self.observer = observer
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._boxes: list[deque] = [deque() for _ in range(size)]
+        self._error: BaseException | None = None
+
+    def abort(self, exc: BaseException, origin_rank: int) -> None:
+        with self._cond:
+            if self._error is None:
+                err = CollectiveAbortedError(
+                    f"rank {origin_rank} aborted: {type(exc).__name__}: {exc}",
+                    origin_rank=origin_rank,
+                )
+                err.__cause__ = exc
+                self._error = err
+            self._cond.notify_all()
+
+    def send(self, source: int, dest: int, tag: int, payload: Any) -> None:
+        with self._cond:
+            if self._error is not None:
+                raise self._error
+            self._boxes[dest].append((source, tag, payload))
+            self._cond.notify_all()
+
+    def _match(self, rank: int, source: int, tag: int, *, pop: bool):
+        """Find (and optionally remove) the first matching message; caller
+        holds the lock.  Returns (found, payload)."""
+        box = self._boxes[rank]
+        for idx, (src, msg_tag, payload) in enumerate(box):
+            if src == source and (tag == ANY_TAG or msg_tag == tag):
+                if pop:
+                    del box[idx]
+                    if self.observer is not None:
+                        self.observer.on_ptp(src, rank,
+                                             payload_nbytes(payload))
+                return True, payload
+        return False, None
+
+    def recv(self, rank: int, source: int, tag: int) -> Any:
+        with self._cond:
+            while True:
+                if self._error is not None:
+                    raise self._error
+                found, payload = self._match(rank, source, tag, pop=True)
+                if found:
+                    return payload
+                if not self._cond.wait(timeout=_WAIT_TIMEOUT):
+                    raise CollectiveAbortedError(
+                        f"rank {rank} timed out in recv(source={source}, tag={tag})"
+                    )
+
+    def try_recv(self, rank: int, source: int, tag: int) -> tuple:
+        """Non-blocking receive: (matched, payload)."""
+        with self._cond:
+            if self._error is not None:
+                raise self._error
+            return self._match(rank, source, tag, pop=True)
+
+    def probe(self, rank: int, source: int, tag: int) -> bool:
+        """Non-destructive check for a matching message (MPI_Iprobe)."""
+        with self._cond:
+            if self._error is not None:
+                raise self._error
+            return self._match(rank, source, tag, pop=False)[0]
+
+
+class ThreadCommunicator(Communicator):
+    """Per-rank communicator handle backed by the shared thread engine."""
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        rendezvous: _Rendezvous,
+        mailboxes: _Mailboxes,
+        perf: Any | None = None,
+    ):
+        super().__init__(rank, size, perf=perf)
+        self._rendezvous = rendezvous
+        self._mailboxes = mailboxes
+
+    def _exchange(self, op, payload, combine, comm_bytes=None):
+        return self._rendezvous.run(self.rank, op, payload, combine, comm_bytes)
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        if not 0 <= dest < self.size:
+            raise InvalidRankError(f"dest {dest} outside [0, {self.size})")
+        self._mailboxes.send(self.rank, dest, tag, obj)
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        if not 0 <= source < self.size:
+            raise InvalidRankError(f"source {source} outside [0, {self.size})")
+        return self._mailboxes.recv(self.rank, source, tag)
+
+    def iprobe(self, source: int, tag: int = 0) -> bool:
+        """Non-destructively test whether a matching message is waiting."""
+        if not 0 <= source < self.size:
+            raise InvalidRankError(f"source {source} outside [0, {self.size})")
+        return self._mailboxes.probe(self.rank, source, tag)
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> "Request":
+        """Nonblocking send; the buffered transport completes immediately,
+        so the returned request is already done (MPI buffered-send
+        semantics)."""
+        self.send(obj, dest, tag)
+        return Request(_done=True)
+
+    def irecv(self, source: int, tag: int = 0) -> "Request":
+        """Nonblocking receive; poll with :meth:`Request.test` or block
+        with :meth:`Request.wait`."""
+        if not 0 <= source < self.size:
+            raise InvalidRankError(f"source {source} outside [0, {self.size})")
+        return Request(_comm=self, _source=source, _tag=tag)
+
+    def split(self, color: int, key: int | None = None) -> "ThreadCommunicator | None":
+        """Partition the communicator into sub-communicators (MPI_Comm_split).
+
+        Ranks passing the same ``color`` form a new communicator; within
+        it they are re-ranked by ``(key, old rank)`` ascending (``key``
+        defaults to the old rank).  Passing a negative color opts out and
+        returns ``None`` (the MPI_UNDEFINED convention).
+
+        Each sub-communicator gets private rendezvous and mailbox state,
+        so collectives and point-to-point messages on it cannot interfere
+        with the parent's.  The parent communicator remains usable; as in
+        MPI, all ranks must agree on which communicator each operation
+        targets.  Sub-communicator traffic is not priced by the parent's
+        performance observer (the lock-step clock is defined over the full
+        machine); ``comm.perf`` compute accounting still works.
+        """
+        me = (color, key if key is not None else self.rank, self.rank)
+
+        def combine(contribs: list) -> list:
+            groups: dict[int, list[tuple[int, int]]] = {}
+            for c, k, r in contribs:
+                if c >= 0:
+                    groups.setdefault(c, []).append((k, r))
+            # one private engine per group
+            plans: list = [None] * len(contribs)
+            for c, members in groups.items():
+                members.sort()
+                size = len(members)
+                rendezvous = _Rendezvous(size, None)
+                mailboxes = _Mailboxes(size, None)
+                for new_rank, (_k, old_rank) in enumerate(members):
+                    plans[old_rank] = (new_rank, size, rendezvous, mailboxes)
+            return plans
+
+        plan = self._exchange("split", me, combine)
+        if plan is None:
+            return None
+        new_rank, size, rendezvous, mailboxes = plan
+        return ThreadCommunicator(new_rank, size, rendezvous, mailboxes,
+                                  perf=self.perf)
+
+
+class Request:
+    """Handle for a nonblocking operation (the MPI_Request analogue).
+
+    ``test()`` polls without blocking; ``wait()`` blocks until completion
+    and returns the received object (None for sends).  A request may be
+    completed exactly once.
+    """
+
+    def __init__(self, _comm: "ThreadCommunicator | None" = None,
+                 _source: int = -1, _tag: int = 0, _done: bool = False):
+        self._comm = _comm
+        self._source = _source
+        self._tag = _tag
+        self._done = _done
+        self._payload: Any = None
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def test(self) -> tuple[bool, Any]:
+        """(completed, payload); never blocks."""
+        if self._done:
+            return True, self._payload
+        found, payload = self._comm._mailboxes.try_recv(
+            self._comm.rank, self._source, self._tag
+        )
+        if found:
+            self._done = True
+            self._payload = payload
+        return self._done, self._payload
+
+    def wait(self) -> Any:
+        """Block until the operation completes; returns the payload."""
+        if self._done:
+            return self._payload
+        self._payload = self._comm.recv(self._source, self._tag)
+        self._done = True
+        return self._payload
+
+
+def run_spmd(
+    size: int,
+    worker: Callable[..., Any],
+    args: Sequence[Any] = (),
+    kwargs: dict | None = None,
+    *,
+    observer: CommObserver | None = None,
+    rank_perf: Sequence[Any] | None = None,
+) -> list:
+    """Run ``worker(comm, *args, **kwargs)`` on ``size`` logical ranks.
+
+    Parameters
+    ----------
+    size:
+        Number of ranks (the simulated machine's processor count).
+    worker:
+        The SPMD function; receives its rank's
+        :class:`~repro.runtime.communicator.Communicator` first.
+    args, kwargs:
+        Extra arguments passed *identically* to every rank (like argv of an
+        MPI job).  Per-rank data must be derived from ``comm.rank``.
+    observer:
+        Optional :class:`CommObserver` (e.g. the perf model's clock).
+    rank_perf:
+        Optional per-rank tracker objects exposed as ``comm.perf``.
+
+    Returns
+    -------
+    list
+        Per-rank return values of ``worker``, in rank order.
+
+    Raises
+    ------
+    SpmdWorkerError
+        If any rank raised; carries all per-rank failures.
+    """
+    if size <= 0:
+        raise ValueError(f"size must be positive, got {size}")
+    if rank_perf is not None and len(rank_perf) != size:
+        raise ValueError("rank_perf must supply one tracker per rank")
+    kwargs = kwargs or {}
+
+    rendezvous = _Rendezvous(size, observer)
+    mailboxes = _Mailboxes(size, observer)
+    results: list = [None] * size
+    failures: dict[int, BaseException] = {}
+    failures_lock = threading.Lock()
+
+    def run_rank(rank: int) -> None:
+        perf = rank_perf[rank] if rank_perf is not None else None
+        comm = ThreadCommunicator(rank, size, rendezvous, mailboxes, perf=perf)
+        try:
+            results[rank] = worker(comm, *args, **kwargs)
+        except CollectiveAbortedError as exc:
+            # secondary failure caused by another rank; record only if it
+            # originated here (origin rank records the root cause below)
+            with failures_lock:
+                failures.setdefault(rank, exc)
+        except BaseException as exc:
+            with failures_lock:
+                failures[rank] = exc
+            rendezvous.abort(exc, rank)
+            mailboxes.abort(exc, rank)
+
+    if size == 1:
+        # fast path: no threads needed for a single rank
+        run_rank(0)
+    else:
+        threads = [
+            threading.Thread(target=run_rank, args=(r,), name=f"spmd-rank-{r}")
+            for r in range(size)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    if failures:
+        # prefer reporting root causes over secondary CollectiveAbortedErrors
+        roots = {
+            r: e for r, e in failures.items()
+            if not isinstance(e, CollectiveAbortedError)
+        }
+        raise SpmdWorkerError(roots or failures)
+    return results

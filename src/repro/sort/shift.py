@@ -1,0 +1,71 @@
+"""Parallel shift / block redistribution.
+
+After sample sort, ranks hold globally sorted but unevenly sized runs.  The
+paper follows the sort with a *parallel shift operation* that restores the
+exact block distribution (rank r owns global positions
+``[r·⌈N/p⌉, (r+1)·⌈N/p⌉)``), which the rest of ScalParC assumes.
+
+``redistribute_blocks`` implements the shift as one all-to-all personalized
+exchange computed from an exclusive prefix of local counts — equivalent
+data movement to a chain of neighbor shifts, in a single collective.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..runtime import Communicator, reduction
+
+__all__ = ["block_bounds", "block_owner_of", "redistribute_blocks"]
+
+
+def block_bounds(total: int, size: int, rank: int) -> tuple[int, int]:
+    """Global [start, end) of the block owned by *rank* under the ⌈N/p⌉
+    block distribution (trailing ranks may own empty blocks)."""
+    chunk = -(-total // size) if total else 0
+    start = min(rank * chunk, total)
+    end = min(start + chunk, total)
+    return start, end
+
+
+def block_owner_of(positions: np.ndarray, total: int, size: int) -> np.ndarray:
+    """Owning rank of each global position under the block distribution."""
+    chunk = -(-total // size) if total else 1
+    return (np.asarray(positions) // max(chunk, 1)).astype(np.int64)
+
+
+def redistribute_blocks(
+    comm: Communicator, arrays: list[np.ndarray]
+) -> list[np.ndarray]:
+    """Re-balance parallel arrays to the exact ⌈N/p⌉ block distribution.
+
+    ``arrays`` are entry-aligned per-rank fragments (e.g. values, rids,
+    labels); the *global concatenation order* is preserved — only the cut
+    points between ranks move.
+
+    Returns the re-balanced arrays for this rank.
+    """
+    n_local = len(arrays[0])
+    for a in arrays:
+        if len(a) != n_local:
+            raise ValueError("redistribute_blocks arrays must be entry-aligned")
+
+    local_n = np.int64(n_local)
+    my_offset = int(comm.exscan(local_n, reduction.SUM))
+    total = int(comm.allreduce(local_n, reduction.SUM))
+    if total == 0:
+        return [a[:0] for a in arrays]
+
+    # slice my run by destination block
+    positions = my_offset + np.arange(n_local, dtype=np.int64)
+    dest = block_owner_of(positions, total, comm.size)
+    # dest is non-decreasing; find cut points
+    cuts = np.searchsorted(dest, np.arange(comm.size + 1, dtype=np.int64))
+    comm.perf.add_compute("split", n_local)
+
+    out: list[np.ndarray] = []
+    for arr in arrays:
+        chunks = [arr[cuts[d]:cuts[d + 1]] for d in range(comm.size)]
+        received = comm.alltoallv(chunks)
+        out.append(np.concatenate(received) if received else arr[:0])
+    return out

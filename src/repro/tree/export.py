@@ -1,0 +1,165 @@
+"""Tree serialization: readable text and a JSON-safe dict form."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..datagen.schema import AttributeSpec, Schema
+from .model import CategoricalSplit, ContinuousSplit, DecisionTree, Leaf, TreeNode
+
+__all__ = ["to_text", "to_dict", "from_dict", "to_dot"]
+
+
+def to_text(tree: DecisionTree, max_depth: int | None = None) -> str:
+    """Indented, human-readable rendering of the tree."""
+    lines: list[str] = []
+
+    def walk(node: TreeNode, prefix: str, tag: str) -> None:
+        if max_depth is not None and node.depth > max_depth:
+            return
+        if node.is_leaf:
+            lines.append(
+                f"{prefix}{tag}→ class {node.label} "
+                f"(n={node.n_records}, counts={node.class_counts.tolist()})"
+            )
+            return
+        name = tree.schema[node.attr_index].name
+        if isinstance(node, ContinuousSplit):
+            lines.append(f"{prefix}{tag}{name} < {node.threshold:g}? "
+                         f"(n={node.n_records})")
+            walk(node.left, prefix + "  ", "[yes] ")
+            walk(node.right, prefix + "  ", "[no]  ")
+        else:
+            lines.append(f"{prefix}{tag}split on {name} (n={node.n_records})")
+            for c, child in enumerate(node.children):
+                values = np.nonzero(node.value_to_child == c)[0].tolist()
+                walk(child, prefix + "  ", f"[{name}∈{values}] ")
+
+    walk(tree.root, "", "")
+    return "\n".join(lines)
+
+
+def to_dict(tree: DecisionTree) -> dict[str, Any]:
+    """JSON-safe dict form of the whole tree."""
+
+    def node_dict(node: TreeNode) -> dict[str, Any]:
+        base = {
+            "n_records": int(node.n_records),
+            "class_counts": [int(x) for x in node.class_counts],
+            "depth": int(node.depth),
+        }
+        if isinstance(node, Leaf):
+            return {"type": "leaf", "label": int(node.label), **base}
+        if isinstance(node, ContinuousSplit):
+            return {
+                "type": "continuous",
+                "attr_index": int(node.attr_index),
+                "threshold": float(node.threshold),
+                "children": [node_dict(c) for c in node.children],
+                **base,
+            }
+        assert isinstance(node, CategoricalSplit)
+        return {
+            "type": "categorical",
+            "attr_index": int(node.attr_index),
+            "value_to_child": [int(x) for x in node.value_to_child],
+            "default_child": int(node.default_child),
+            "children": [node_dict(c) for c in node.children],
+            **base,
+        }
+
+    return {
+        "schema": {
+            "n_classes": tree.schema.n_classes,
+            "attributes": [
+                {"name": a.name, "kind": a.kind, "n_values": a.n_values}
+                for a in tree.schema
+            ],
+        },
+        "root": node_dict(tree.root),
+    }
+
+
+def from_dict(payload: dict[str, Any]) -> DecisionTree:
+    """Rebuild a tree written by :func:`to_dict`."""
+    schema = Schema(
+        attributes=tuple(
+            AttributeSpec(a["name"], a["kind"], n_values=a["n_values"])
+            for a in payload["schema"]["attributes"]
+        ),
+        n_classes=payload["schema"]["n_classes"],
+    )
+
+    def build(d: dict[str, Any]) -> TreeNode:
+        counts = np.asarray(d["class_counts"], dtype=np.int64)
+        if d["type"] == "leaf":
+            return Leaf(label=d["label"], n_records=d["n_records"],
+                        class_counts=counts, depth=d["depth"])
+        children = [build(c) for c in d["children"]]
+        if d["type"] == "continuous":
+            return ContinuousSplit(
+                attr_index=d["attr_index"], threshold=d["threshold"],
+                n_records=d["n_records"], class_counts=counts,
+                depth=d["depth"], children=children,
+            )
+        return CategoricalSplit(
+            attr_index=d["attr_index"],
+            value_to_child=np.asarray(d["value_to_child"], dtype=np.int32),
+            n_records=d["n_records"], class_counts=counts,
+            depth=d["depth"], children=children,
+            default_child=d["default_child"],
+        )
+
+    return DecisionTree(schema=schema, root=build(payload["root"]))
+
+
+def to_dot(tree: DecisionTree, *, max_depth: int | None = None) -> str:
+    """Graphviz DOT rendering of the tree (leaves as boxes, splits as
+    ellipses; edge labels carry the routing predicate)."""
+    lines = [
+        "digraph decision_tree {",
+        '  node [fontname="Helvetica"];',
+    ]
+    counter = [0]
+
+    def walk(node: TreeNode) -> str:
+        my_id = f"n{counter[0]}"
+        counter[0] += 1
+        if node.is_leaf:
+            lines.append(
+                f'  {my_id} [shape=box, label="class {node.label}\\n'
+                f'n={node.n_records}"];'
+            )
+            return my_id
+        name = tree.schema[node.attr_index].name
+        if isinstance(node, ContinuousSplit):
+            lines.append(
+                f'  {my_id} [shape=ellipse, label="{name} < '
+                f'{node.threshold:g}\\nn={node.n_records}"];'
+            )
+            edge_labels = ["yes", "no"]
+        else:
+            lines.append(
+                f'  {my_id} [shape=ellipse, label="{name}\\n'
+                f'n={node.n_records}"];'
+            )
+            edge_labels = []
+            for c in range(len(node.children)):
+                values = np.nonzero(node.value_to_child == c)[0].tolist()
+                edge_labels.append("∈" + str(values))
+        if max_depth is not None and node.depth >= max_depth:
+            stub = f"n{counter[0]}"
+            counter[0] += 1
+            lines.append(f'  {stub} [shape=plaintext, label="…"];')
+            lines.append(f"  {my_id} -> {stub};")
+            return my_id
+        for child, label in zip(node.children, edge_labels):
+            child_id = walk(child)
+            lines.append(f'  {my_id} -> {child_id} [label="{label}"];')
+        return my_id
+
+    walk(tree.root)
+    lines.append("}")
+    return "\n".join(lines)

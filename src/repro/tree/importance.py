@@ -1,0 +1,41 @@
+"""Impurity-based feature importance (a standard downstream tree metric).
+
+The importance of attribute a is the total impurity decrease achieved by
+nodes splitting on a, each weighted by its share of the training records
+(Breiman et al.'s "gini importance"), normalized to sum to 1.  Computed
+from the class-count matrices the induced tree already stores, so no data
+pass is needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.criteria import GINI, impurity
+from .model import DecisionTree
+
+__all__ = ["feature_importances"]
+
+
+def feature_importances(tree: DecisionTree,
+                        criterion: str = GINI) -> np.ndarray:
+    """Normalized per-attribute importances (length = number of
+    attributes; zeros for attributes the tree never splits on)."""
+    raw = np.zeros(len(tree.schema), dtype=np.float64)
+    n_root = tree.root.n_records
+    if n_root == 0:
+        return raw
+    for node in tree.nodes():
+        if node.is_leaf:
+            continue
+        node_imp = float(impurity(node.class_counts, criterion))
+        child_term = 0.0
+        for child in node.children:
+            if child.n_records:
+                child_term += (child.n_records / node.n_records) * float(
+                    impurity(child.class_counts, criterion)
+                )
+        decrease = node_imp - child_term
+        raw[node.attr_index] += (node.n_records / n_root) * decrease
+    total = raw.sum()
+    return raw / total if total > 0 else raw

@@ -1,0 +1,119 @@
+"""Pessimistic-error tree pruning (extension).
+
+The paper concentrates on the induction step and leaves pruning out of
+scope (§2); we provide the classic pessimistic-error pruning of
+Quinlan/C4.5 as an optional post-pass so downstream users get complete
+train→prune→predict functionality.
+
+A subtree is collapsed to a leaf when the leaf's pessimistic error bound
+(training errors + ½ continuity correction) does not exceed the sum of its
+leaves' bounds — the standard "prune unless the subtree demonstrably earns
+its complexity" rule computed purely from training counts, i.e. without a
+validation set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .model import DecisionTree, Leaf, TreeNode
+
+__all__ = ["prune_pessimistic", "prune_mdl"]
+
+
+def _leaf_from(node: TreeNode) -> Leaf:
+    counts = node.class_counts
+    return Leaf(
+        label=int(np.argmax(counts)),
+        n_records=node.n_records,
+        class_counts=counts.copy(),
+        depth=node.depth,
+    )
+
+
+def _pessimistic_errors(node: TreeNode) -> float:
+    """Sum over the subtree's leaves of (training errors + 0.5)."""
+    if node.is_leaf:
+        errors = node.n_records - int(node.class_counts[node.label])
+        return errors + 0.5
+    return sum(_pessimistic_errors(c) for c in node.children)
+
+
+def _prune(node: TreeNode) -> TreeNode:
+    if node.is_leaf:
+        return node
+    node.children = [_prune(c) for c in node.children]
+    as_leaf = _leaf_from(node)
+    leaf_bound = (node.n_records - int(node.class_counts[as_leaf.label])) + 0.5
+    if leaf_bound <= _pessimistic_errors(node):
+        return as_leaf
+    return node
+
+
+def prune_pessimistic(tree: DecisionTree) -> DecisionTree:
+    """Return a pruned copy of the tree (the input is not modified)."""
+    from .export import from_dict, to_dict
+
+    clone = from_dict(to_dict(tree))  # deep, structure-only copy
+    return DecisionTree(schema=clone.schema, root=_prune(clone.root))
+
+
+def _mdl_split_cost(tree_schema, node: TreeNode) -> float:
+    """Bits to encode this node's splitting decision (SLIQ/SPRINT-style).
+
+    Attribute choice costs log2(n_attrs); a continuous threshold costs
+    log2(n) against the node's records (one of up to n positions); a
+    categorical split costs log2(n_values) per occurring value's routing
+    bit, collapsed here to n_occurring bits (subset form) or
+    log2(n_values) (multiway form).
+    """
+    n_attrs = max(len(tree_schema), 1)
+    cost = np.log2(n_attrs)
+    if hasattr(node, "threshold"):
+        cost += np.log2(max(node.n_records, 2))
+    else:
+        occurring = int(np.count_nonzero(node.value_to_child >= 0))
+        if len(node.children) == 2:
+            cost += max(occurring, 1)  # one routing bit per value
+        else:
+            cost += np.log2(max(len(node.value_to_child), 2))
+    return float(cost)
+
+
+def _mdl_leaf_cost(node: TreeNode, n_classes: int) -> float:
+    """Bits to encode the node as a leaf: the label plus one bit per
+    misclassified training record (exception coding)."""
+    errors = node.n_records - int(node.class_counts.max())
+    return float(np.log2(max(n_classes, 2)) + errors * np.log2(max(n_classes, 2)))
+
+
+def _prune_mdl(schema, node: TreeNode, n_classes: int) -> tuple[TreeNode, float]:
+    """Bottom-up MDL pruning; returns (possibly collapsed node, its cost)."""
+    if node.is_leaf:
+        return node, 1.0 + _mdl_leaf_cost(node, n_classes)
+    total = 1.0 + _mdl_split_cost(schema, node)
+    new_children = []
+    for child in node.children:
+        pruned_child, child_cost = _prune_mdl(schema, child, n_classes)
+        new_children.append(pruned_child)
+        total += child_cost
+    node.children = new_children
+    leaf = _leaf_from(node)
+    leaf_cost = 1.0 + _mdl_leaf_cost(leaf, n_classes)
+    if leaf_cost <= total:
+        return leaf, leaf_cost
+    return node, total
+
+
+def prune_mdl(tree: DecisionTree) -> DecisionTree:
+    """Minimum-description-length pruning (the scheme SPRINT adopts from
+    SLIQ): collapse any subtree whose encoding cost — split descriptions
+    plus children plus exception bits — exceeds the cost of a single leaf
+    with exception-coded errors.  Returns a pruned copy.
+    """
+    from .export import from_dict, to_dict
+
+    clone = from_dict(to_dict(tree))
+    root, _ = _prune_mdl(clone.schema, clone.root,
+                         clone.schema.n_classes)
+    return DecisionTree(schema=clone.schema, root=root)

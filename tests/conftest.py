@@ -1,0 +1,45 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen import generate_quest, make_dataset, random_dataset
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_quest():
+    """Small mixed-type Quest dataset (fast; exercises both attr kinds)."""
+    return generate_quest(300, "F2", seed=7)
+
+
+@pytest.fixture
+def xor_dataset():
+    """A dataset whose best tree is unambiguous: 2-D XOR on thresholds."""
+    xs, ys, labels = [], [], []
+    for x in (0.0, 1.0):
+        for y in (0.0, 1.0):
+            for _ in range(5):
+                xs.append(x)
+                ys.append(y)
+                labels.append(int(x != y))
+    return make_dataset(
+        continuous={"x": xs, "y": ys}, labels=labels, n_classes=2
+    )
+
+
+def assert_trees_equal(a, b, context: str = "") -> None:
+    """Readable failure message for tree-equality assertions."""
+    if not a.structurally_equal(b):
+        from repro.tree import to_text
+
+        raise AssertionError(
+            f"trees differ {context}\n--- A ---\n{to_text(a)}\n"
+            f"--- B ---\n{to_text(b)}"
+        )

@@ -1,0 +1,94 @@
+"""API quality gates: docstrings everywhere, exports resolvable, no
+accidental public surface drift."""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.analysis",
+    "repro.baselines",
+    "repro.core",
+    "repro.datagen",
+    "repro.hashing",
+    "repro.perfmodel",
+    "repro.runtime",
+    "repro.sort",
+    "repro.tree",
+]
+
+
+def _all_modules() -> list[str]:
+    names = []
+    for pkg_name in PACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        names.append(pkg_name)
+        if hasattr(pkg, "__path__"):
+            for info in pkgutil.iter_modules(pkg.__path__):
+                names.append(f"{pkg_name}.{info.name}")
+    return sorted(set(names))
+
+
+@pytest.mark.parametrize("module_name", _all_modules())
+def test_every_module_has_a_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), (
+        f"{module_name} lacks a module docstring"
+    )
+
+
+@pytest.mark.parametrize("pkg_name", PACKAGES)
+def test_every_export_resolves_and_is_documented(pkg_name):
+    pkg = importlib.import_module(pkg_name)
+    exports = getattr(pkg, "__all__", [])
+    assert exports, f"{pkg_name} has no __all__"
+    for name in exports:
+        obj = getattr(pkg, name, None)
+        assert obj is not None, f"{pkg_name}.__all__ lists missing {name!r}"
+        if inspect.isfunction(obj) or inspect.isclass(obj):
+            assert inspect.getdoc(obj), (
+                f"{pkg_name}.{name} is public but undocumented"
+            )
+
+
+@pytest.mark.parametrize("pkg_name", PACKAGES)
+def test_public_methods_documented(pkg_name):
+    pkg = importlib.import_module(pkg_name)
+    for name in getattr(pkg, "__all__", []):
+        obj = getattr(pkg, name)
+        if not inspect.isclass(obj):
+            continue
+        for attr_name, attr in vars(obj).items():
+            if attr_name.startswith("_"):
+                continue
+            if inspect.isfunction(attr):
+                assert inspect.getdoc(attr), (
+                    f"{pkg_name}.{name}.{attr_name} is public but "
+                    "undocumented"
+                )
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2
+
+
+def test_top_level_surface_is_stable():
+    """The headline API: additions are fine (update this list); removals
+    or renames are breaking and must be deliberate."""
+    required = {
+        "ScalParC", "InductionConfig", "FitResult",
+        "paper_dataset", "generate_quest", "Dataset", "Schema",
+        "induce_serial", "ParallelSPRINT", "SerialSPRINT",
+        "DecisionTree", "accuracy", "to_text", "prune_pessimistic",
+        "run_spmd", "CRAY_T3D", "MachineSpec", "SimulatedRunStats",
+        "parallel_predict", "parallel_score", "feature_importances",
+    }
+    missing = required - set(repro.__all__)
+    assert not missing, f"top-level API lost: {sorted(missing)}"

@@ -1,0 +1,121 @@
+"""Distributed attribute lists: construction, segmentation, reorder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.attribute_lists import LocalAttributeList, build_local_lists
+from repro.datagen import AttributeSpec, generate_quest
+from repro.runtime import run_spmd
+from repro.sort import is_sorted_pairs
+
+
+def _mklist(values, nodes=None, kind="continuous", n_values=0):
+    values = np.asarray(values, dtype=np.float64 if kind == "continuous"
+                        else np.int32)
+    n = len(values)
+    if nodes is None:
+        offsets = np.array([0, n], dtype=np.int64)
+    else:
+        counts = np.bincount(nodes)
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+    return LocalAttributeList(
+        spec=AttributeSpec("a", kind, n_values=n_values),
+        attr_index=0,
+        values=values,
+        rids=np.arange(n, dtype=np.int64),
+        labels=np.zeros(n, dtype=np.int64),
+        offsets=offsets.astype(np.int64),
+    )
+
+
+def test_entry_nodes_from_offsets():
+    alist = _mklist([1.0, 2.0, 3.0, 4.0, 5.0])
+    alist.offsets = np.array([0, 2, 2, 5], dtype=np.int64)
+    np.testing.assert_array_equal(alist.entry_nodes(), [0, 0, 2, 2, 2])
+    assert alist.n_segments == 3
+    assert alist.segment(1) == slice(2, 2)
+
+
+def test_validation_rejects_bad_shapes():
+    with pytest.raises(ValueError):
+        LocalAttributeList(
+            spec=AttributeSpec("a", "continuous"), attr_index=0,
+            values=np.zeros(3), rids=np.zeros(2, dtype=np.int64),
+            labels=np.zeros(3, dtype=np.int64),
+            offsets=np.array([0, 3], dtype=np.int64),
+        )
+    with pytest.raises(ValueError):
+        _mklist([1.0]).__class__(
+            spec=AttributeSpec("a", "continuous"), attr_index=0,
+            values=np.zeros(3), rids=np.zeros(3, dtype=np.int64),
+            labels=np.zeros(3, dtype=np.int64),
+            offsets=np.array([0, 2], dtype=np.int64),  # wrong span
+        )
+
+
+def test_reorder_groups_and_drops():
+    alist = _mklist([10.0, 20.0, 30.0, 40.0, 50.0])
+    alist.reorder(np.array([1, 0, -1, 1, 0]), n_next=2)
+    np.testing.assert_array_equal(alist.values, [20.0, 50.0, 10.0, 40.0])
+    np.testing.assert_array_equal(alist.rids, [1, 4, 0, 3])
+    np.testing.assert_array_equal(alist.offsets, [0, 2, 4])
+
+
+def test_reorder_is_stable_within_nodes():
+    alist = _mklist([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    alist.reorder(np.array([0, 1, 0, 1, 0, 1]), n_next=2)
+    np.testing.assert_array_equal(alist.values, [1.0, 3.0, 5.0, 2.0, 4.0, 6.0])
+
+
+def test_reorder_to_empty():
+    alist = _mklist([1.0, 2.0])
+    alist.reorder(np.array([-1, -1]), n_next=3)
+    assert alist.n_local == 0
+    np.testing.assert_array_equal(alist.offsets, [0, 0, 0, 0])
+
+
+def test_reorder_wrong_length_raises():
+    alist = _mklist([1.0, 2.0])
+    with pytest.raises(ValueError):
+        alist.reorder(np.array([0]), n_next=1)
+
+
+def test_nbytes_positive_and_shrinks():
+    alist = _mklist(np.arange(100, dtype=np.float64))
+    before = alist.nbytes()
+    alist.reorder(np.array([0] * 50 + [-1] * 50), n_next=1)
+    assert alist.nbytes() < before
+
+
+@pytest.mark.parametrize("size", [1, 2, 5])
+def test_build_local_lists_invariants(size):
+    ds = generate_quest(200, "F2", seed=0)
+
+    def worker(comm):
+        lists, n_total = build_local_lists(comm, ds)
+        out = []
+        for alist in lists:
+            out.append((
+                alist.spec.name,
+                alist.values.copy(),
+                alist.rids.copy(),
+                alist.labels.copy(),
+            ))
+        return n_total, out
+
+    results = run_spmd(size, worker)
+    assert all(r[0] == 200 for r in results)
+    for a, spec in enumerate(ds.schema):
+        values = np.concatenate([r[1][a][1] for r in results])
+        rids = np.concatenate([r[1][a][2] for r in results])
+        labels = np.concatenate([r[1][a][3] for r in results])
+        # every record appears exactly once with its own value and label
+        assert sorted(rids.tolist()) == list(range(200))
+        np.testing.assert_array_equal(labels, ds.labels[rids])
+        if spec.is_continuous:
+            assert is_sorted_pairs(values, rids)  # presorted globally
+            np.testing.assert_array_equal(values, ds.columns[a][rids])
+        else:
+            np.testing.assert_array_equal(rids, np.arange(200))  # original order

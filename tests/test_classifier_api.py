@@ -1,0 +1,100 @@
+"""Public classifier facade: validation, stats wiring, determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    CRAY_T3D,
+    InductionConfig,
+    ScalParC,
+    fit_scalparc,
+    paper_dataset,
+)
+from repro.datagen import make_dataset
+from repro.perfmodel import ZERO_LATENCY
+
+
+@pytest.fixture(scope="module")
+def small_ds():
+    return paper_dataset(400, "F2", seed=0)
+
+
+def test_fit_returns_tree_and_stats(small_ds):
+    result = ScalParC(n_processors=4).fit(small_ds)
+    assert result.n_processors == 4
+    assert result.tree.n_nodes >= 1
+    assert result.stats is not None
+    assert result.stats.size == 4
+    assert result.stats.parallel_time > 0
+
+
+def test_machine_none_skips_stats(small_ds):
+    result = ScalParC(n_processors=2, machine=None).fit(small_ds)
+    assert result.stats is None
+
+
+def test_custom_machine_is_used(small_ds):
+    slow = CRAY_T3D.with_(a2a_bandwidth=CRAY_T3D.a2a_bandwidth / 100)
+    fast = ScalParC(4, machine=CRAY_T3D).fit(small_ds)
+    throttled = ScalParC(4, machine=slow).fit(small_ds)
+    assert throttled.stats.parallel_time > fast.stats.parallel_time
+    assert throttled.tree.structurally_equal(fast.tree)
+
+
+def test_zero_latency_machine_removes_transport_cost(small_ds):
+    """With free communication, remaining 'comm' time is pure wait from
+    load imbalance, and the run is strictly faster than on the T3D."""
+    free = ScalParC(4, machine=ZERO_LATENCY).fit(small_ds)
+    t3d = ScalParC(4, machine=CRAY_T3D).fit(small_ds)
+    assert free.stats.parallel_time < t3d.stats.parallel_time
+    # every rank's comm time is bounded by the total imbalance, which is
+    # itself bounded by the critical-path compute time
+    assert free.stats.comm_time_max <= free.stats.parallel_time
+    assert free.stats.total_bytes == t3d.stats.total_bytes  # traffic equal
+
+
+def test_invalid_processor_count():
+    with pytest.raises(ValueError):
+        ScalParC(n_processors=0)
+    with pytest.raises(ValueError):
+        ScalParC(n_processors=-2)
+
+
+def test_empty_dataset_rejected():
+    ds = make_dataset(continuous={"x": []}, labels=[])
+    from repro.runtime import SpmdWorkerError
+
+    with pytest.raises(SpmdWorkerError):
+        ScalParC(2).fit(ds)
+
+
+def test_fit_scalparc_helper(small_ds):
+    r = fit_scalparc(small_ds, n_processors=3,
+                     config=InductionConfig(max_depth=2))
+    assert r.tree.depth <= 2
+    assert r.n_processors == 3
+
+
+def test_fit_is_deterministic(small_ds):
+    a = ScalParC(5).fit(small_ds)
+    b = ScalParC(5).fit(small_ds)
+    assert a.tree.structurally_equal(b.tree)
+    assert a.stats.parallel_time == b.stats.parallel_time
+    assert a.stats.total_bytes == b.stats.total_bytes
+
+
+def test_level_marks_track_tree_depth(small_ds):
+    r = ScalParC(4).fit(small_ds)
+    # one mark per induction level; at least depth levels ran
+    assert len(r.stats.level_marks) >= r.tree.depth
+
+
+def test_config_defaults_match_paper():
+    cfg = ScalParC(2).config
+    assert cfg.criterion == "gini"
+    assert cfg.categorical_binary_subsets is False
+    assert cfg.blocked_updates is True
+    assert cfg.per_node_communication is False
+    assert cfg.max_depth is None

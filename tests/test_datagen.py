@@ -1,0 +1,302 @@
+"""Dataset schema, Quest generator (domains, functions, determinism), IO."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    CATEGORICAL,
+    CONTINUOUS,
+    PAPER_ATTRIBUTES,
+    QUEST_SCHEMA,
+    AttributeSpec,
+    Dataset,
+    Schema,
+    generate_quest,
+    load_csv,
+    load_npz,
+    make_dataset,
+    paper_dataset,
+    quest_columns,
+    quest_labels,
+    random_dataset,
+    random_schema,
+    save_csv,
+    save_npz,
+)
+
+# ---------------------------------------------------------------------------
+# schema validation
+# ---------------------------------------------------------------------------
+
+def test_attribute_spec_validation():
+    with pytest.raises(ValueError):
+        AttributeSpec("x", "weird")
+    with pytest.raises(ValueError):
+        AttributeSpec("x", CATEGORICAL, n_values=0)
+    assert AttributeSpec("x", CONTINUOUS).is_continuous
+
+
+def test_schema_rejects_duplicates_and_bad_classes():
+    a = AttributeSpec("x", CONTINUOUS)
+    with pytest.raises(ValueError):
+        Schema(attributes=(a, a), n_classes=2)
+    with pytest.raises(ValueError):
+        Schema(attributes=(a,), n_classes=1)
+
+
+def test_schema_lookup_and_select():
+    assert QUEST_SCHEMA.index_of("age") == 2
+    with pytest.raises(KeyError):
+        QUEST_SCHEMA.index_of("nope")
+    sub = QUEST_SCHEMA.select(["age", "salary"])
+    assert [a.name for a in sub] == ["age", "salary"]
+    assert len(QUEST_SCHEMA.continuous_indices) == 6
+    assert len(QUEST_SCHEMA.categorical_indices) == 3
+
+
+def test_dataset_validation():
+    schema = Schema((AttributeSpec("g", CATEGORICAL, n_values=3),), 2)
+    with pytest.raises(ValueError):  # categorical code out of range
+        Dataset(schema, [np.array([0, 3], dtype=np.int32)],
+                np.array([0, 1], dtype=np.int32))
+    with pytest.raises(ValueError):  # label out of range
+        Dataset(schema, [np.array([0, 1], dtype=np.int32)],
+                np.array([0, 2], dtype=np.int32))
+    with pytest.raises(ValueError):  # column count mismatch
+        Dataset(schema, [], np.array([], dtype=np.int32))
+    with pytest.raises(ValueError):  # ragged columns
+        Dataset(schema, [np.array([0], dtype=np.int32)],
+                np.array([0, 1], dtype=np.int32))
+
+
+def test_dataset_block_partition_is_exact():
+    ds = generate_quest(103, "F1", seed=0)
+    blocks = [ds.block(r, 4) for r in range(4)]
+    assert [b.n_records for b in blocks] == [26, 26, 26, 25]
+    np.testing.assert_array_equal(
+        np.concatenate([b.labels for b in blocks]), ds.labels
+    )
+
+
+def test_dataset_split_partitions_records(rng):
+    ds = generate_quest(100, "F1", seed=0)
+    train, test = ds.split(0.7, rng)
+    assert train.n_records == 70
+    assert test.n_records == 30
+    with pytest.raises(ValueError):
+        ds.split(1.5, rng)
+
+
+def test_dataset_class_counts_and_features():
+    ds = generate_quest(50, "F1", seed=0)
+    counts = ds.class_counts()
+    assert counts.sum() == 50
+    mat = ds.features_matrix()
+    assert mat.shape == (50, 9)
+
+
+# ---------------------------------------------------------------------------
+# quest generator
+# ---------------------------------------------------------------------------
+
+def test_quest_attribute_domains():
+    cols = quest_columns(5000, np.random.default_rng(0))
+    assert cols["salary"].min() >= 20_000 and cols["salary"].max() <= 150_000
+    # commission zero iff salary >= 75k
+    high = cols["salary"] >= 75_000
+    assert np.all(cols["commission"][high] == 0.0)
+    assert np.all(cols["commission"][~high] >= 10_000)
+    assert cols["age"].min() >= 20 and cols["age"].max() <= 80
+    assert set(np.unique(cols["elevel"])) <= set(range(5))
+    assert set(np.unique(cols["car"])) <= set(range(20))
+    assert set(np.unique(cols["zipcode"])) <= set(range(9))
+    assert cols["hyears"].min() >= 1 and cols["hyears"].max() <= 30
+    assert cols["loan"].min() >= 0 and cols["loan"].max() <= 500_000
+    # hvalue scales with zipcode
+    k = cols["zipcode"] + 1
+    assert np.all(cols["hvalue"] >= 0.5 * k * 100_000)
+    assert np.all(cols["hvalue"] <= 1.5 * k * 100_000)
+
+
+def test_quest_function_semantics_spot_checks():
+    cols = {
+        "salary": np.array([60_000.0, 60_000.0, 130_000.0, 50_000.0]),
+        "commission": np.array([0.0, 0.0, 0.0, 30_000.0]),
+        "age": np.array([30.0, 45.0, 65.0, 70.0]),
+        "elevel": np.array([0, 2, 4, 1], dtype=np.int32),
+        "car": np.zeros(4, dtype=np.int32),
+        "zipcode": np.zeros(4, dtype=np.int32),
+        "hvalue": np.full(4, 100_000.0),
+        "hyears": np.array([25.0, 10.0, 30.0, 5.0]),
+        "loan": np.array([0.0, 400_000.0, 0.0, 100_000.0]),
+    }
+    assert quest_labels(cols, "F1").tolist() == [1, 0, 1, 1]
+    # F2: young ∧ 50..100k → A; middle ∧ 60k → B; old ∧ 130k → B
+    assert quest_labels(cols, "F2").tolist() == [1, 0, 0, 1]
+    # F3: young ∧ elevel 0 → A; middle ∧ 2 → A; old ∧ 4 → A; old ∧ 1 → B
+    assert quest_labels(cols, "F3").tolist() == [1, 1, 1, 0]
+    # F7: 0.67·income − 0.2·loan − 20k > 0
+    expected_f7 = (0.67 * (cols["salary"] + cols["commission"])
+                   - 0.2 * cols["loan"] - 20_000 > 0).astype(int).tolist()
+    assert quest_labels(cols, "F7").tolist() == expected_f7
+    # F10 uses equity
+    equity = 0.1 * cols["hvalue"] * np.maximum(cols["hyears"] - 20, 0)
+    expected_f10 = (0.67 * (cols["salary"] + cols["commission"])
+                    - 5000 * cols["elevel"] + 0.2 * equity - 10_000 > 0
+                    ).astype(int).tolist()
+    assert quest_labels(cols, "F10").tolist() == expected_f10
+
+
+def test_quest_unknown_function_raises():
+    with pytest.raises(ValueError):
+        quest_labels({"age": np.zeros(1)}, "F11")
+    with pytest.raises(ValueError):
+        generate_quest(10, "bogus")
+
+
+@pytest.mark.parametrize("fn", [f"F{i}" for i in range(1, 11)])
+def test_all_functions_generate_two_classes(fn):
+    ds = generate_quest(4000, fn, seed=1)
+    counts = ds.class_counts()
+    assert counts.sum() == 4000
+    assert np.all(counts > 0), f"{fn} produced a single class"
+
+
+def test_generation_is_deterministic():
+    a = generate_quest(500, "F5", seed=9)
+    b = generate_quest(500, "F5", seed=9)
+    for ca, cb in zip(a.columns, b.columns):
+        np.testing.assert_array_equal(ca, cb)
+    np.testing.assert_array_equal(a.labels, b.labels)
+    c = generate_quest(500, "F5", seed=10)
+    assert not np.array_equal(a.labels, c.labels)
+
+
+def test_perturbation_flips_labels():
+    clean = generate_quest(5000, "F2", seed=4, perturbation=0.0)
+    noisy = generate_quest(5000, "F2", seed=4, perturbation=0.3)
+    frac = np.mean(clean.labels != noisy.labels)
+    # 30% perturbation draws a uniform class (2 classes → ~15% flips)
+    assert 0.10 < frac < 0.20
+    with pytest.raises(ValueError):
+        generate_quest(10, "F2", perturbation=1.5)
+
+
+def test_paper_profile_shape():
+    ds = paper_dataset(100, "F2", seed=0)
+    assert [a.name for a in ds.schema] == list(PAPER_ATTRIBUTES)
+    assert ds.schema.n_classes == 2
+    assert len(ds.columns) == 7
+
+
+def test_generate_rejects_negative_n():
+    with pytest.raises(ValueError):
+        generate_quest(-1, "F1")
+
+
+def test_generate_zero_records():
+    ds = generate_quest(0, "F1", seed=0)
+    assert ds.n_records == 0
+
+
+# ---------------------------------------------------------------------------
+# random datasets
+# ---------------------------------------------------------------------------
+
+def test_random_schema_always_has_attributes(rng):
+    for _ in range(20):
+        schema = random_schema(rng)
+        assert len(schema) >= 1
+        assert schema.n_classes >= 2
+
+
+def test_random_dataset_valid(rng):
+    for dup in (False, True):
+        ds = random_dataset(rng, 50, duplicate_heavy=dup)
+        assert ds.n_records == 50  # validation ran in __post_init__
+
+
+def test_make_dataset_shapes():
+    ds = make_dataset(
+        continuous={"x": [1.0, 2.0]},
+        categorical={"g": ([0, 1], 2)},
+        labels=[0, 1],
+    )
+    assert ds.n_attributes == 2
+    assert ds.schema[1].n_values == 2
+
+
+# ---------------------------------------------------------------------------
+# persistence
+# ---------------------------------------------------------------------------
+
+def test_npz_roundtrip(tmp_path):
+    ds = generate_quest(80, "F4", seed=2)
+    path = tmp_path / "data.npz"
+    save_npz(ds, path)
+    back = load_npz(path)
+    assert back.schema == ds.schema
+    assert back.name == ds.name
+    for ca, cb in zip(ds.columns, back.columns):
+        np.testing.assert_array_equal(ca, cb)
+    np.testing.assert_array_equal(ds.labels, back.labels)
+
+
+def test_csv_roundtrip(tmp_path):
+    ds = generate_quest(25, "F3", seed=3)
+    path = tmp_path / "data.csv"
+    save_csv(ds, path)
+    back = load_csv(path, ds.schema)
+    np.testing.assert_array_equal(ds.labels, back.labels)
+    for spec, ca, cb in zip(ds.schema, ds.columns, back.columns):
+        if spec.is_continuous:
+            np.testing.assert_allclose(ca, cb)
+        else:
+            np.testing.assert_array_equal(ca, cb)
+
+
+def test_csv_header_mismatch_raises(tmp_path):
+    ds = generate_quest(5, "F1", seed=0)
+    path = tmp_path / "data.csv"
+    save_csv(ds, path)
+    with pytest.raises(ValueError):
+        load_csv(path, ds.schema.select(["age", "salary"]))
+
+
+def test_attribute_noise_blurs_boundaries():
+    clean = generate_quest(3000, "F2", seed=6)
+    noisy = generate_quest(3000, "F2", seed=6, attribute_noise=0.05)
+    # labels identical (noise is applied after labeling)…
+    np.testing.assert_array_equal(clean.labels, noisy.labels)
+    # …but continuous values moved
+    sal = QUEST_SCHEMA.index_of("salary")
+    assert not np.array_equal(clean.columns[sal], noisy.columns[sal])
+    shift = np.abs(clean.columns[sal] - noisy.columns[sal])
+    assert shift.max() <= 0.05 * 130_000 + 1e-6
+    # categorical columns untouched
+    el = QUEST_SCHEMA.index_of("elevel")
+    np.testing.assert_array_equal(clean.columns[el], noisy.columns[el])
+
+
+def test_attribute_noise_hurts_learnability():
+    from repro.baselines import induce_serial
+    from repro.core import InductionConfig
+    from repro.tree import accuracy
+
+    cfg = InductionConfig(min_split_records=25)
+    clean = generate_quest(4000, "F2", seed=7,
+                           attributes=("salary", "age"))
+    noisy = generate_quest(4000, "F2", seed=7, attribute_noise=0.2,
+                           attributes=("salary", "age"))
+    test = generate_quest(2000, "F2", seed=99,
+                          attributes=("salary", "age"))
+    acc_clean = accuracy(induce_serial(clean, cfg), test)
+    acc_noisy = accuracy(induce_serial(noisy, cfg), test)
+    assert acc_noisy < acc_clean
+
+
+def test_attribute_noise_validation():
+    with pytest.raises(ValueError):
+        generate_quest(10, "F1", attribute_noise=-0.1)

@@ -1,0 +1,160 @@
+"""Counter-based RNG and block-independent distributed Quest generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import induce_serial
+from repro.core import ScalParC
+from repro.datagen import (
+    DistributedQuestSource,
+    counter_integers,
+    counter_uniform,
+    quest_labels,
+    stream_key,
+)
+
+from tests.conftest import assert_trees_equal
+
+
+# ---------------------------------------------------------------------------
+# counter RNG
+# ---------------------------------------------------------------------------
+
+def test_counter_uniform_range_and_determinism():
+    key = stream_key(42, 0)
+    a = counter_uniform(key, np.arange(10_000))
+    b = counter_uniform(key, np.arange(10_000))
+    np.testing.assert_array_equal(a, b)
+    assert a.min() >= 0.0 and a.max() < 1.0
+    # roughly uniform
+    assert abs(a.mean() - 0.5) < 0.02
+    hist = np.histogram(a, bins=10, range=(0, 1))[0]
+    assert hist.min() > 700
+
+
+def test_counter_uniform_random_access():
+    """Value at index i is independent of which indices surround it."""
+    key = stream_key(7, 3)
+    full = counter_uniform(key, np.arange(1000))
+    lone = counter_uniform(key, np.array([123, 877]))
+    assert lone[0] == full[123]
+    assert lone[1] == full[877]
+
+
+def test_streams_are_independent():
+    idx = np.arange(1000)
+    a = counter_uniform(stream_key(1, 0), idx)
+    b = counter_uniform(stream_key(1, 1), idx)
+    c = counter_uniform(stream_key(2, 0), idx)
+    assert not np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+    assert abs(np.corrcoef(a, b)[0, 1]) < 0.05
+
+
+def test_counter_integers_bounds():
+    vals = counter_integers(stream_key(0, 0), np.arange(5000), 3, 9)
+    assert vals.min() >= 3 and vals.max() <= 8
+    assert set(np.unique(vals)) == set(range(3, 9))
+    with pytest.raises(ValueError):
+        counter_integers(stream_key(0, 0), np.arange(5), 5, 5)
+
+
+# ---------------------------------------------------------------------------
+# distributed source
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def source():
+    return DistributedQuestSource(2_000, "F2", seed=9, perturbation=0.05)
+
+
+@pytest.mark.parametrize("p", [1, 2, 5, 16])
+def test_blocks_reassemble_identically(source, p):
+    full = source.materialize()
+    parts = [source.block(r, p) for r in range(p)]
+    assert sum(b.n_records for b in parts) == source.n_records
+    np.testing.assert_array_equal(
+        np.concatenate([b.labels for b in parts]), full.labels
+    )
+    for a in range(len(full.schema)):
+        np.testing.assert_array_equal(
+            np.concatenate([b.columns[a] for b in parts]), full.columns[a]
+        )
+
+
+def test_record_range_random_access(source):
+    full = source.materialize()
+    window = source.record_range(500, 600)
+    np.testing.assert_array_equal(window.labels, full.labels[500:600])
+    # out-of-range clamps
+    assert source.record_range(1_990, 5_000).n_records == 10
+    assert source.record_range(80, 20).n_records == 0
+
+
+def test_labels_consistent_with_function():
+    src = DistributedQuestSource(3_000, "F7", seed=1, perturbation=0.0,
+                                 attributes=None)
+    full = src.materialize()
+    cols = {a.name: c for a, c in zip(full.schema, full.columns)}
+    np.testing.assert_array_equal(full.labels, quest_labels(cols, "F7"))
+
+
+def test_attribute_domains():
+    full = DistributedQuestSource(5_000, "F1", seed=2,
+                                  attributes=None).materialize()
+    cols = {a.name: c for a, c in zip(full.schema, full.columns)}
+    assert cols["salary"].min() >= 20_000 and cols["salary"].max() <= 150_000
+    assert np.all(cols["commission"][cols["salary"] >= 75_000] == 0.0)
+    assert set(np.unique(cols["zipcode"])) <= set(range(9))
+    assert cols["age"].min() >= 20 and cols["age"].max() <= 80
+
+
+def test_perturbation_applied(source):
+    clean = DistributedQuestSource(2_000, "F2", seed=9).materialize()
+    noisy = source.materialize()
+    frac = np.mean(clean.labels != noisy.labels)
+    assert 0.005 < frac < 0.05  # 5% perturbation, half land on same label
+
+
+def test_paper_profile_default():
+    src = DistributedQuestSource(10, "F2", seed=0)
+    assert [a.name for a in src.schema] == [
+        "salary", "commission", "age", "elevel", "car", "zipcode", "loan"
+    ]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        DistributedQuestSource(-1, "F2")
+    with pytest.raises(ValueError):
+        DistributedQuestSource(10, "F99")
+    with pytest.raises(ValueError):
+        DistributedQuestSource(10, "F2", perturbation=2.0)
+
+
+# ---------------------------------------------------------------------------
+# end-to-end through ScalParC
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("p", [2, 5])
+def test_scalparc_accepts_source_directly(source, p):
+    ref = induce_serial(source.materialize())
+    got = ScalParC(p, machine=None).fit(source)
+    assert_trees_equal(got.tree, ref, f"(distributed source p={p})")
+
+
+@settings(deadline=None, max_examples=10)
+@given(
+    n=st.integers(1, 300),
+    seed=st.integers(0, 1000),
+    p=st.sampled_from([2, 3, 8]),
+)
+def test_property_blocks_independent_of_p(n, seed, p):
+    src = DistributedQuestSource(n, "F6", seed=seed)
+    full = src.materialize()
+    glued = np.concatenate([src.block(r, p).labels for r in range(p)])
+    np.testing.assert_array_equal(glued, full.labels)

@@ -1,0 +1,68 @@
+"""Smoke tests: every example script runs end-to-end at reduced scale."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"{script} failed:\n--- stdout ---\n{proc.stdout}\n"
+        f"--- stderr ---\n{proc.stderr}"
+    )
+    return proc.stdout
+
+
+def test_examples_directory_has_quickstart():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert "quickstart.py" in names
+    assert len(names) >= 3
+
+
+def test_quickstart():
+    out = _run("quickstart.py", "2000", "4")
+    assert "Test accuracy" in out
+    assert "machine=cray-t3d p=4" in out
+
+
+def test_scaling_study():
+    out = _run("scaling_study.py", "0.2")
+    assert "Fig 3(a)" in out
+    assert "Fig 3(b)" in out
+    assert "Relative speedup" in out
+
+
+def test_credit_scoring():
+    out = _run("credit_scoring.py", "3000")
+    assert "Pruned test accuracy" in out
+    assert "Confusion matrix" in out
+
+
+def test_parallel_hashing_demo():
+    out = _run("parallel_hashing_demo.py")
+    assert "spot-lookups verified" in out
+    assert "longest chain" in out
+
+
+def test_sprint_vs_scalparc():
+    out = _run("sprint_vs_scalparc.py", "3000")
+    assert "Identical trees" in out
+    assert "total extra IO" in out
+
+
+def test_large_scale_distributed():
+    out = _run("large_scale_distributed.py", "5000")
+    assert "recipe only" in out
+    assert "serial-reference tree identical: True" in out

@@ -1,0 +1,112 @@
+"""Failure injection: a rank dying mid-induction must abort the whole job
+cleanly (no deadlock), and the engine must stay reusable afterwards."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import induce_serial
+from repro.core import InductionConfig, induce_worker
+from repro.core.splitter import ScalParCSplitPhase
+from repro.datagen import generate_quest
+from repro.runtime import CollectiveAbortedError, SpmdWorkerError, run_spmd
+
+
+class _DyingSplitPhase(ScalParCSplitPhase):
+    """ScalParC's splitting phase that crashes one rank at a given level."""
+
+    def __init__(self, dying_rank: int, at_level: int):
+        super().__init__()
+        self.dying_rank = dying_rank
+        self.at_level = at_level
+        self._level = 0
+
+    def execute(self, comm, lists, decisions, config):
+        if self._level == self.at_level and comm.rank == self.dying_rank:
+            raise OSError("simulated node failure")
+        self._level += 1
+        super().execute(comm, lists, decisions, config)
+
+
+@pytest.mark.parametrize("dying_rank", [0, 2])
+@pytest.mark.parametrize("level", [0, 1])
+def test_rank_death_mid_induction_aborts_cleanly(dying_rank, level):
+    ds = generate_quest(400, "F2", seed=1)
+
+    def worker(comm):
+        return induce_worker(
+            comm, ds, InductionConfig(),
+            split_phase=_DyingSplitPhase(dying_rank, level),
+        )
+
+    with pytest.raises(SpmdWorkerError) as excinfo:
+        run_spmd(4, worker)
+    failure = excinfo.value.failures[dying_rank]
+    assert isinstance(failure, OSError)
+
+
+def test_death_during_blocked_update_rounds():
+    """Crash between blocked all-to-all rounds: peers inside the next round
+    must be released, not deadlocked."""
+    from repro.hashing import DistributedNodeTable
+
+    def worker(comm):
+        table = DistributedNodeTable(comm, 100)
+        keys = np.arange(100, dtype=np.int64) if comm.rank == 0 \
+            else np.empty(0, dtype=np.int64)
+        if comm.rank == 1:
+            # rank 1 joins the first round then dies before the second
+            table.update(np.empty(0, dtype=np.int64),
+                         np.empty(0, dtype=np.int32), max_block=10)
+            raise ValueError("dies after round block")
+        table.update(keys, keys.astype(np.int32), max_block=10)
+
+    with pytest.raises(SpmdWorkerError):
+        run_spmd(3, worker)
+
+
+def test_engine_reusable_after_failure():
+    ds = generate_quest(300, "F3", seed=2)
+
+    def bad(comm):
+        if comm.rank == 1:
+            raise RuntimeError("boom")
+        comm.barrier()
+
+    with pytest.raises(SpmdWorkerError):
+        run_spmd(3, bad)
+
+    # a fresh job right after the failed one behaves normally
+    trees = run_spmd(3, induce_worker, args=(ds, None))
+    assert trees[0].structurally_equal(induce_serial(ds))
+
+
+def test_secondary_failures_not_reported_as_root_cause():
+    def worker(comm):
+        if comm.rank == 0:
+            raise KeyError("root cause")
+        comm.allgather(comm.rank)  # peers die of CollectiveAbortedError
+
+    with pytest.raises(SpmdWorkerError) as excinfo:
+        run_spmd(4, worker)
+    # only the true root cause is surfaced
+    assert set(excinfo.value.failures) == {0}
+    assert isinstance(excinfo.value.failures[0], KeyError)
+
+
+def test_abort_error_carries_origin():
+    seen = {}
+
+    def worker(comm):
+        if comm.rank == 2:
+            raise RuntimeError("origin")
+        try:
+            comm.barrier()
+        except CollectiveAbortedError as exc:
+            seen[comm.rank] = exc.origin_rank
+            raise
+
+    with pytest.raises(SpmdWorkerError):
+        run_spmd(3, worker)
+    assert all(origin == 2 for origin in seen.values())

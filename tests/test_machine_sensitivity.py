@@ -1,0 +1,76 @@
+"""Machine-parameter sensitivity: the reproduced *shapes* must survive
+changes to the (reconstructed) cost-model constants.
+
+EXPERIMENTS.md claims the qualitative results — speedup ordering by N,
+memory halving, ScalParC-beats-SPRINT traffic — are insensitive to the
+exact T3D numbers.  These tests sweep latency/bandwidth/compute factors
+and re-check the shape criteria on small grids.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ScalParC, paper_dataset
+from repro.analysis import run_grid, speedup_series
+from repro.baselines import ParallelSPRINT
+from repro.core import InductionConfig
+from repro.perfmodel import CRAY_T3D, scale_machine
+
+MACHINES = [
+    CRAY_T3D,
+    scale_machine(CRAY_T3D, latency=5.0, name="slow-network"),
+    scale_machine(CRAY_T3D, bandwidth=10.0, name="fat-pipes"),
+    scale_machine(CRAY_T3D, compute=8.0, name="fast-cpus"),
+    scale_machine(CRAY_T3D, latency=0.2, bandwidth=0.3, compute=0.5,
+                  name="scrambled"),
+]
+
+_IDS = [m.name for m in MACHINES]
+
+
+@pytest.fixture(scope="module")
+def dataset_factory():
+    return lambda n: paper_dataset(n, "F2", seed=1)
+
+
+@pytest.mark.parametrize("machine", MACHINES, ids=_IDS)
+def test_speedup_improves_with_problem_size(machine, dataset_factory):
+    points = run_grid(dataset_factory, [3_000, 12_000], [2, 8, 16],
+                      machine=machine)
+    small = speedup_series(points, 3_000)
+    large = speedup_series(points, 12_000)
+    assert large.relative(2, 16) >= small.relative(2, 16) * 0.9
+
+
+@pytest.mark.parametrize("machine", MACHINES, ids=_IDS)
+def test_memory_halves_regardless_of_machine(machine, dataset_factory):
+    ds = dataset_factory(8_000)
+    mems = [
+        ScalParC(p, machine=machine).fit(ds).stats.memory_per_rank_max
+        for p in (2, 4, 8)
+    ]
+    assert mems[0] / mems[1] > 1.7
+    assert mems[1] / mems[2] > 1.7
+
+
+@pytest.mark.parametrize("machine", MACHINES, ids=_IDS)
+def test_sprint_traffic_gap_widens_regardless_of_machine(
+    machine, dataset_factory
+):
+    ds = dataset_factory(6_000)
+    cfg = InductionConfig(max_depth=4)
+    ratios = []
+    for p in (4, 16):
+        a = ScalParC(p, config=cfg, machine=machine).fit(ds).stats
+        b = ParallelSPRINT(p, config=cfg, machine=machine).fit(ds).stats
+        ratios.append(b.bytes_per_rank_max / a.bytes_per_rank_max)
+    assert ratios[1] > ratios[0]
+    assert ratios[1] > 1.0
+
+
+def test_trees_never_depend_on_the_machine(dataset_factory):
+    ds = dataset_factory(2_000)
+    trees = [ScalParC(4, machine=m).fit(ds).tree for m in MACHINES]
+    for t in trees[1:]:
+        assert trees[0].structurally_equal(t)

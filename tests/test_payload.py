@@ -1,0 +1,47 @@
+"""Payload byte-size estimation used by the communication accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime import payload_nbytes
+
+
+def test_none_is_free():
+    assert payload_nbytes(None) == 0
+
+
+def test_ndarray_exact():
+    arr = np.zeros((10, 3), dtype=np.float64)
+    assert payload_nbytes(arr) == 240
+    assert payload_nbytes(np.int32(7)) == 4
+
+
+def test_bytes_and_str():
+    assert payload_nbytes(b"abcd") == 4
+    assert payload_nbytes("héllo") == len("héllo".encode())
+
+
+def test_scalars():
+    assert payload_nbytes(True) == 1
+    assert payload_nbytes(42) == 8
+    assert payload_nbytes(3.14) == 8
+
+
+def test_containers_recursive():
+    inner = np.zeros(4, dtype=np.int64)  # 32 bytes
+    assert payload_nbytes([inner, inner]) >= 64
+    assert payload_nbytes({"k": inner}) >= 32 + 1
+    assert payload_nbytes((1, 2.0)) >= 16
+
+
+def test_object_with_dict():
+    class Thing:
+        def __init__(self):
+            self.data = np.zeros(2, dtype=np.float64)
+
+    assert payload_nbytes(Thing()) >= 16
+
+
+def test_opaque_object_has_constant_cost():
+    assert payload_nbytes(object()) > 0

@@ -1,0 +1,113 @@
+"""Nonblocking point-to-point: Request objects, iprobe."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import InvalidRankError, SpmdWorkerError, run_spmd
+
+
+def test_isend_completes_immediately():
+    def worker(comm):
+        if comm.rank == 0:
+            req = comm.isend("payload", dest=1)
+            assert req.done
+            assert req.wait() is None  # sends carry no payload back
+            comm.barrier()
+            return None
+        comm.barrier()
+        return comm.recv(source=0)
+
+    assert run_spmd(2, worker)[1] == "payload"
+
+
+def test_irecv_wait_blocks_until_message():
+    def worker(comm):
+        if comm.rank == 0:
+            req = comm.irecv(source=1, tag=9)
+            comm.barrier()  # let rank 1 send
+            return req.wait()
+        comm.barrier()
+        comm.send(1234, dest=0, tag=9)
+        return None
+
+    assert run_spmd(2, worker)[0] == 1234
+
+
+def test_irecv_test_polls_without_blocking():
+    def worker(comm):
+        if comm.rank == 0:
+            req = comm.irecv(source=1)
+            before, _ = req.test()  # nothing sent yet
+            comm.barrier()
+            comm.barrier()  # rank 1 sent between the barriers
+            after, payload = req.test()
+            return before, after, payload
+        comm.barrier()
+        comm.send("late", dest=0)
+        comm.barrier()
+        return None
+
+    before, after, payload = run_spmd(2, worker)[0]
+    assert before is False
+    assert after is True
+    assert payload == "late"
+
+
+def test_request_test_after_done_is_stable():
+    def worker(comm):
+        if comm.rank == 0:
+            comm.send("x", dest=1)
+            return None
+        req = comm.irecv(source=0)
+        value = req.wait()
+        ok1, v1 = req.test()
+        ok2, v2 = req.test()
+        return value, ok1, v1, ok2, v2
+
+    assert run_spmd(2, worker)[1] == ("x", True, "x", True, "x")
+
+
+def test_iprobe_nondestructive():
+    def worker(comm):
+        if comm.rank == 0:
+            comm.send(7, dest=1, tag=3)
+            comm.barrier()
+            return None
+        comm.barrier()
+        seen = comm.iprobe(source=0, tag=3)
+        still = comm.iprobe(source=0, tag=3)  # message not consumed
+        value = comm.recv(source=0, tag=3)
+        gone = comm.iprobe(source=0, tag=3)
+        return seen, still, value, gone
+
+    assert run_spmd(2, worker)[1] == (True, True, 7, False)
+
+
+def test_iprobe_false_when_empty():
+    def worker(comm):
+        return comm.iprobe(source=(comm.rank + 1) % comm.size)
+
+    assert run_spmd(2, worker) == [False, False]
+
+
+def test_invalid_ranks_rejected():
+    def worker(comm):
+        comm.irecv(source=7)
+
+    with pytest.raises(SpmdWorkerError) as excinfo:
+        run_spmd(2, worker)
+    assert any(isinstance(e, InvalidRankError)
+               for e in excinfo.value.failures.values())
+
+
+def test_many_outstanding_requests_fifo_per_tag():
+    def worker(comm):
+        if comm.rank == 0:
+            for i in range(10):
+                comm.isend(i, dest=1, tag=i % 2)
+            return None
+        reqs = [comm.irecv(source=0, tag=t) for t in (0, 0, 1, 1)]
+        return [r.wait() for r in reqs]
+
+    assert run_spmd(2, worker)[1] == [0, 2, 1, 3]

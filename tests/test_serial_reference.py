@@ -1,0 +1,167 @@
+"""Serial golden-reference inducer: known trees, config knobs, edge cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import induce_serial
+from repro.core import InductionConfig
+from repro.datagen import generate_quest, make_dataset
+from repro.tree import ContinuousSplit, accuracy, summarize, to_text
+
+
+def test_xor_tree_exact_structure(xor_dataset):
+    tree = induce_serial(xor_dataset)
+    assert accuracy(tree, xor_dataset) == 1.0
+    # XOR needs depth 2 with threshold splits at 1.0
+    assert isinstance(tree.root, ContinuousSplit)
+    assert tree.root.threshold == 1.0
+    assert tree.depth == 2
+    assert tree.n_leaves == 4
+
+
+def test_pure_dataset_single_leaf():
+    ds = make_dataset(continuous={"x": [1.0, 2.0, 3.0]}, labels=[1, 1, 1])
+    tree = induce_serial(ds)
+    assert tree.root.is_leaf
+    assert tree.root.label == 1
+    assert tree.root.n_records == 3
+
+
+def test_constant_attributes_become_leaf():
+    """Impure but unsplittable: every attribute constant."""
+    ds = make_dataset(
+        continuous={"x": [5.0] * 6},
+        categorical={"g": ([2] * 6, 3)},
+        labels=[0, 1, 0, 1, 0, 0],
+    )
+    tree = induce_serial(ds)
+    assert tree.root.is_leaf
+    assert tree.root.label == 0  # majority
+
+
+def test_majority_label_tie_prefers_lower_class():
+    ds = make_dataset(continuous={"x": [1.0, 1.0]}, labels=[1, 0])
+    tree = induce_serial(ds)
+    assert tree.root.is_leaf
+    assert tree.root.label == 0
+
+
+def test_max_depth_zero_forces_leaf(tiny_quest):
+    tree = induce_serial(tiny_quest, InductionConfig(max_depth=0))
+    assert tree.root.is_leaf
+
+
+def test_max_depth_bounds_tree(tiny_quest):
+    for d in (1, 2, 4):
+        tree = induce_serial(tiny_quest, InductionConfig(max_depth=d))
+        assert tree.depth <= d
+
+
+def test_min_split_records(tiny_quest):
+    tree = induce_serial(tiny_quest, InductionConfig(min_split_records=100))
+    for node in tree.nodes():
+        if not node.is_leaf:
+            assert node.n_records >= 100
+
+
+def test_min_improvement_prunes_weak_splits(tiny_quest):
+    loose = induce_serial(tiny_quest)
+    strict = induce_serial(tiny_quest, InductionConfig(min_improvement=0.05))
+    assert strict.n_nodes < loose.n_nodes
+
+
+def test_continuous_split_threshold_is_a_data_value():
+    ds = make_dataset(
+        continuous={"x": [1.0, 2.0, 3.0, 4.0]}, labels=[0, 0, 1, 1]
+    )
+    tree = induce_serial(ds)
+    assert tree.root.threshold == 3.0  # "A < v for some v in its domain"
+    assert tree.root.left.label == 0
+    assert tree.root.right.label == 1
+
+
+def test_duplicates_never_split_inside_a_run():
+    ds = make_dataset(
+        continuous={"x": [1.0, 1.0, 1.0, 2.0]}, labels=[0, 1, 0, 1]
+    )
+    tree = induce_serial(ds)
+    assert tree.root.threshold == 2.0
+
+
+def test_only_categorical_attributes():
+    ds = make_dataset(
+        categorical={"g": ([0, 0, 1, 1, 2, 2], 3)},
+        labels=[0, 0, 1, 1, 0, 0],
+    )
+    tree = induce_serial(ds)
+    assert not tree.root.is_leaf
+    assert tree.root.attr_index == 0
+    assert len(tree.root.children) == 3
+    assert accuracy(tree, ds) == 1.0
+
+
+def test_categorical_children_ascending_value_order():
+    ds = make_dataset(
+        categorical={"g": ([2, 0, 2, 0], 4)},  # value 1, 3 unseen
+        labels=[1, 0, 1, 0],
+    )
+    tree = induce_serial(ds)
+    np.testing.assert_array_equal(
+        tree.root.value_to_child, [0, -1, 1, -1]
+    )
+
+
+def test_binary_subset_config():
+    ds = generate_quest(400, "F3", seed=1)
+    tree = induce_serial(
+        ds, InductionConfig(categorical_binary_subsets=True)
+    )
+    for node in tree.nodes():
+        if not node.is_leaf and hasattr(node, "value_to_child"):
+            assert len(node.children) == 2
+
+
+def test_entropy_criterion_differs_from_gini(tiny_quest):
+    g = induce_serial(tiny_quest, InductionConfig(criterion="gini"))
+    e = induce_serial(tiny_quest, InductionConfig(criterion="entropy"))
+    # Different criteria generally pick different trees on real data
+    assert not g.structurally_equal(e) or summarize(g) == summarize(e)
+
+
+def test_empty_dataset_raises():
+    ds = make_dataset(continuous={"x": []}, labels=[])
+    with pytest.raises(ValueError):
+        induce_serial(ds)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        InductionConfig(max_depth=-1)
+    with pytest.raises(ValueError):
+        InductionConfig(min_split_records=1)
+    with pytest.raises(ValueError):
+        InductionConfig(min_improvement=-0.1)
+    with pytest.raises(ValueError):
+        InductionConfig(criterion="mse")
+    with pytest.raises(ValueError):
+        InductionConfig(max_update_block=0)
+
+
+def test_deep_tree_no_recursion_limit():
+    """A pathological staircase forces a deep tree; must not blow the
+    Python recursion limit (the builder is iterative)."""
+    n = 600
+    x = np.arange(n, dtype=np.float64)
+    labels = (np.arange(n) % 2).tolist()
+    ds = make_dataset(continuous={"x": x.tolist()}, labels=labels)
+    tree = induce_serial(ds)
+    assert accuracy(tree, ds) == 1.0
+    assert tree.n_leaves == n  # each record isolated
+
+
+def test_tree_text_is_stable(xor_dataset):
+    t1 = to_text(induce_serial(xor_dataset))
+    t2 = to_text(induce_serial(xor_dataset))
+    assert t1 == t2

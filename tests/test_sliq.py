@@ -1,0 +1,88 @@
+"""SLIQ baseline: class-list mechanics, cost profile, exact tree equality."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import SliqClassifier, SprintClassifier, induce_serial
+from repro.core import InductionConfig
+from repro.datagen import generate_quest, make_dataset, random_dataset
+
+from tests.conftest import assert_trees_equal
+
+
+def test_matches_reference_on_quest():
+    ds = generate_quest(800, "F2", seed=1)
+    tree, stats = SliqClassifier().fit(ds)
+    assert_trees_equal(tree, induce_serial(ds), "(sliq)")
+    assert stats.levels == tree.depth + 1
+
+
+def test_class_list_is_order_n():
+    for n in (100, 1000):
+        ds = generate_quest(n, "F1", seed=0)
+        _, stats = SliqClassifier().fit(ds)
+        assert stats.class_list_bytes == n * 16  # int64 label + leaf
+
+
+def test_full_rescans_every_level():
+    """SLIQ's cost signature: every level reads all n_attrs × N entries,
+    even as active records dwindle."""
+    ds = generate_quest(500, "F2", seed=2)
+    tree, stats = SliqClassifier().fit(ds)
+    n_attrs = len(ds.schema)
+    scanning_levels = stats.levels - 1  # last level is all-terminal
+    assert stats.entries_scanned == scanning_levels * n_attrs * 500
+    # active records shrink but scans don't
+    assert stats.active_per_level[0] == 500
+    assert stats.active_per_level[-1] < 500
+
+
+def test_sliq_scans_more_than_sprint():
+    """Same tree, different economics: SPRINT only rescans on memory
+    pressure, SLIQ rescans always."""
+    ds = generate_quest(600, "F2", seed=3)
+    sliq_tree, sliq_stats = SliqClassifier().fit(ds)
+    sprint_tree, sprint_stats = SprintClassifier().fit(ds)
+    assert_trees_equal(sliq_tree, sprint_tree, "(sliq vs sprint)")
+    assert sliq_stats.entries_scanned > sprint_stats.entries_scanned
+
+
+@pytest.mark.parametrize("config", [
+    InductionConfig(max_depth=4),
+    InductionConfig(criterion="entropy"),
+    InductionConfig(categorical_binary_subsets=True),
+    InductionConfig(min_split_records=25),
+    InductionConfig(min_improvement=0.01),
+], ids=["depth", "entropy", "subsets", "minsplit", "improve"])
+def test_configs_match_reference(config):
+    ds = generate_quest(400, "F3", seed=4)
+    tree, _ = SliqClassifier(config).fit(ds)
+    assert_trees_equal(tree, induce_serial(ds, config), "(sliq config)")
+
+
+def test_duplicate_heavy_columns():
+    rng = np.random.default_rng(5)
+    ds = random_dataset(rng, 200, duplicate_heavy=True)
+    tree, _ = SliqClassifier().fit(ds)
+    assert_trees_equal(tree, induce_serial(ds), "(sliq duplicates)")
+
+
+def test_single_record_and_empty():
+    ds = make_dataset(continuous={"x": [1.0]}, labels=[0])
+    tree, _ = SliqClassifier().fit(ds)
+    assert tree.root.is_leaf
+    empty = make_dataset(continuous={"x": []}, labels=[])
+    with pytest.raises(ValueError):
+        SliqClassifier().fit(empty)
+
+
+@settings(deadline=None, max_examples=15)
+@given(seed=st.integers(0, 10_000), n=st.integers(1, 120), dup=st.booleans())
+def test_property_sliq_equals_reference(seed, n, dup):
+    ds = random_dataset(np.random.default_rng(seed), n, duplicate_heavy=dup)
+    tree, _ = SliqClassifier().fit(ds)
+    assert_trees_equal(tree, induce_serial(ds), f"(hypothesis {seed})")

@@ -1,0 +1,90 @@
+"""Stateful property testing: the distributed chained hash table must be
+indistinguishable from a Python dict under any interleaving of batched
+insert / delete / get operations."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.hashing import DistributedChainedHashTable
+from repro.runtime import run_spmd
+
+_P = 3
+_KEYS = st.integers(0, 40)
+_VALUES = st.integers(-100, 100)
+
+
+def _apply_script(script: list[tuple]) -> list[tuple[int, int]]:
+    """Replay a batch-operation script inside an SPMD job; returns the
+    final (key, value) content of the distributed table."""
+
+    def worker(comm):
+        table = DistributedChainedHashTable(comm, n_slots=8)
+        for op, payload in script:
+            if op == "insert":
+                ks = np.array([k for k, _ in payload], dtype=np.int64)
+                vs = np.array([v for _, v in payload], dtype=np.int64)
+                if comm.rank != 0:  # rank 0 issues; others join collectively
+                    ks, vs = ks[:0], vs[:0]
+                table.insert(ks, vs)
+            elif op == "delete":
+                ks = np.array(payload, dtype=np.int64)
+                if comm.rank != 0:
+                    ks = ks[:0]
+                table.delete(ks)
+            else:  # get
+                ks = np.array(payload, dtype=np.int64)
+                if comm.rank != 0:
+                    ks = ks[:0]
+                table.get(ks)
+        return table.local_items()
+
+    results = run_spmd(_P, worker)
+    return [item for items in results for item in items]
+
+
+class ChainedTableMachine(RuleBasedStateMachine):
+    """Dict-model equivalence under random operation sequences.
+
+    To keep each step cheap, operations are recorded and the SPMD replay
+    happens in the invariant check, comparing the distributed table's full
+    contents with the model dict.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.script: list[tuple] = []
+        self.model: dict[int, int] = {}
+
+    @rule(pairs=st.lists(st.tuples(_KEYS, _VALUES), min_size=1, max_size=6))
+    def insert(self, pairs):
+        self.script.append(("insert", pairs))
+        for k, v in pairs:
+            self.model[k] = v
+
+    @rule(keys=st.lists(_KEYS, min_size=1, max_size=4))
+    def delete(self, keys):
+        self.script.append(("delete", keys))
+        for k in keys:
+            self.model.pop(k, None)
+
+    @rule(keys=st.lists(_KEYS, min_size=1, max_size=4))
+    def get(self, keys):
+        # reads must not mutate; included to interleave with writes
+        self.script.append(("get", keys))
+
+    @invariant()
+    def table_matches_model(self):
+        if not self.script:
+            return
+        contents = dict(_apply_script(self.script))
+        assert contents == self.model
+
+
+ChainedTableMachine.TestCase.settings = settings(
+    max_examples=10, stateful_step_count=6, deadline=None
+)
+TestChainedTableStateful = ChainedTableMachine.TestCase

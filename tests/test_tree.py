@@ -1,0 +1,253 @@
+"""Decision-tree model: routing, prediction, export, stats, pruning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen import AttributeSpec, Schema, make_dataset
+from repro.tree import (
+    CategoricalSplit,
+    ContinuousSplit,
+    DecisionTree,
+    Leaf,
+    accuracy,
+    confusion_matrix,
+    from_dict,
+    predict_columns,
+    predict_proba_columns,
+    prune_pessimistic,
+    summarize,
+    to_dict,
+    to_text,
+)
+
+
+def _leaf(label, n=5, c=2, depth=1):
+    counts = np.zeros(c, dtype=np.int64)
+    counts[label] = n
+    return Leaf(label=label, n_records=n, class_counts=counts, depth=depth)
+
+
+@pytest.fixture
+def small_tree():
+    """x < 2 → class 0; else split on g: value 0 → class 0, value 1 → 1."""
+    schema = Schema(
+        (AttributeSpec("x", "continuous"),
+         AttributeSpec("g", "categorical", n_values=3)),
+        n_classes=2,
+    )
+    cat = CategoricalSplit(
+        attr_index=1,
+        value_to_child=np.array([0, 1, -1], dtype=np.int32),
+        n_records=10, class_counts=np.array([4, 6]), depth=1,
+        children=[_leaf(0, 4, depth=2), _leaf(1, 6, depth=2)],
+        default_child=1,
+    )
+    root = ContinuousSplit(
+        attr_index=0, threshold=2.0, n_records=20,
+        class_counts=np.array([14, 6]), depth=0,
+        children=[_leaf(0, 10, depth=1), cat],
+    )
+    return DecisionTree(schema=schema, root=root)
+
+
+def test_continuous_routing(small_tree):
+    node = small_tree.root
+    np.testing.assert_array_equal(
+        node.route(np.array([1.9, 2.0, 5.0])), [0, 1, 1]
+    )
+    assert node.left.is_leaf and not node.right.is_leaf
+
+
+def test_categorical_routing_with_default(small_tree):
+    cat = small_tree.root.right
+    # value 2 unseen -> default child 1; out-of-range codes also default
+    np.testing.assert_array_equal(
+        cat.route(np.array([0, 1, 2, 7])), [0, 1, 1, 1]
+    )
+
+
+def test_predict_columns(small_tree):
+    x = np.array([0.0, 3.0, 3.0, 9.0])
+    g = np.array([0, 0, 1, 2], dtype=np.int32)
+    np.testing.assert_array_equal(
+        predict_columns(small_tree, [x, g]), [0, 0, 1, 1]
+    )
+
+
+def test_predict_empty(small_tree):
+    out = predict_columns(small_tree, [np.array([]), np.array([], dtype=np.int32)])
+    assert len(out) == 0
+
+
+def test_predict_wrong_width_raises(small_tree):
+    with pytest.raises(ValueError):
+        predict_columns(small_tree, [np.array([1.0])])
+
+
+def test_predict_proba_rows_sum_to_one(small_tree):
+    proba = predict_proba_columns(
+        small_tree, [np.array([0.0, 5.0]), np.array([0, 1], dtype=np.int32)]
+    )
+    np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+    assert proba[0, 0] == 1.0
+
+
+def test_tree_measures(small_tree):
+    assert small_tree.n_nodes == 5
+    assert small_tree.n_leaves == 3
+    assert small_tree.depth == 2
+    s = summarize(small_tree)
+    assert s.n_continuous_splits == 1
+    assert s.n_categorical_splits == 1
+    assert "5 nodes" in str(s)
+
+
+def test_structural_equality_detects_differences(small_tree):
+    other = from_dict(to_dict(small_tree))
+    assert small_tree.structurally_equal(other)
+    other.root.threshold = 2.5
+    assert not small_tree.structurally_equal(other)
+    other.root.threshold = 2.0
+    other.root.children[0].label = 1
+    assert not small_tree.structurally_equal(other)
+
+
+def test_leaf_vs_split_never_equal(small_tree):
+    assert not small_tree.root.structurally_equal(_leaf(0))
+    assert not _leaf(0).structurally_equal(small_tree.root)
+
+
+def test_export_roundtrip(small_tree):
+    payload = to_dict(small_tree)
+    back = from_dict(payload)
+    assert back.structurally_equal(small_tree)
+    assert back.schema == small_tree.schema
+    assert back.root.right.default_child == 1
+
+
+def test_to_text_mentions_attributes(small_tree):
+    text = to_text(small_tree)
+    assert "x < 2" in text
+    assert "split on g" in text
+    assert "class 1" in text
+    shallow = to_text(small_tree, max_depth=0)
+    assert "split on g" not in shallow
+
+
+def test_accuracy_and_confusion(small_tree):
+    ds = make_dataset(
+        continuous={"x": [0.0, 3.0, 3.0]},
+        categorical={"g": ([0, 0, 1], 3)},
+        labels=[0, 0, 0],
+    )
+    # order matters: make_dataset puts continuous attrs first, like the tree
+    assert accuracy(small_tree, ds) == pytest.approx(2 / 3)
+    cm = confusion_matrix(small_tree, ds)
+    assert cm[0, 0] == 2 and cm[0, 1] == 1
+    assert cm.sum() == 3
+
+
+def test_accuracy_empty_dataset_is_nan(small_tree):
+    ds = make_dataset(
+        continuous={"x": []}, categorical={"g": ([], 3)}, labels=[]
+    )
+    assert np.isnan(accuracy(small_tree, ds))
+
+
+def test_tree_requires_root(small_tree):
+    with pytest.raises(ValueError):
+        DecisionTree(schema=small_tree.schema, root=None)
+
+
+# ---------------------------------------------------------------------------
+# pruning
+# ---------------------------------------------------------------------------
+
+def test_prune_collapses_useless_split():
+    """A split whose children predict the same class is pruned."""
+    schema = Schema((AttributeSpec("x", "continuous"),), n_classes=2)
+    root = ContinuousSplit(
+        attr_index=0, threshold=1.0, n_records=10,
+        class_counts=np.array([9, 1]), depth=0,
+        children=[
+            Leaf(0, 5, np.array([5, 0]), 1),
+            Leaf(0, 5, np.array([4, 1]), 1),
+        ],
+    )
+    pruned = prune_pessimistic(DecisionTree(schema=schema, root=root))
+    assert pruned.root.is_leaf
+    assert pruned.root.label == 0
+    assert pruned.root.n_records == 10
+
+
+def test_prune_keeps_informative_split():
+    schema = Schema((AttributeSpec("x", "continuous"),), n_classes=2)
+    root = ContinuousSplit(
+        attr_index=0, threshold=1.0, n_records=20,
+        class_counts=np.array([10, 10]), depth=0,
+        children=[
+            Leaf(0, 10, np.array([10, 0]), 1),
+            Leaf(1, 10, np.array([0, 10]), 1),
+        ],
+    )
+    tree = DecisionTree(schema=schema, root=root)
+    pruned = prune_pessimistic(tree)
+    assert not pruned.root.is_leaf
+    # and the original is untouched
+    assert not tree.root.is_leaf
+
+
+def test_prune_never_increases_nodes(tiny_quest):
+    from repro.baselines import induce_serial
+
+    tree = induce_serial(tiny_quest)
+    pruned = prune_pessimistic(tree)
+    assert pruned.n_nodes <= tree.n_nodes
+    # pruned tree still predicts valid labels
+    preds = pruned.predict(tiny_quest)
+    assert set(np.unique(preds)) <= {0, 1}
+
+
+def test_prune_mdl_collapses_noise_fits():
+    """On noisy data MDL pruning should shrink the tree drastically while
+    improving held-out accuracy."""
+    from repro.baselines import induce_serial
+    from repro.datagen import paper_dataset
+    from repro.tree import prune_mdl
+
+    train = paper_dataset(4000, "F2", seed=1, perturbation=0.1)
+    test = paper_dataset(2000, "F2", seed=99)
+    tree = induce_serial(train)
+    pruned = prune_mdl(tree)
+    assert pruned.n_nodes < tree.n_nodes / 4
+    from repro.tree import accuracy
+
+    assert accuracy(pruned, test) >= accuracy(tree, test)
+    # the original tree is untouched
+    assert tree.n_nodes > pruned.n_nodes
+
+
+def test_prune_mdl_keeps_perfect_splits():
+    from repro.baselines import induce_serial
+    from repro.tree import prune_mdl
+
+    ds = make_dataset(
+        continuous={"x": [float(i) for i in range(40)]},
+        labels=[0] * 20 + [1] * 20,
+    )
+    pruned = prune_mdl(induce_serial(ds))
+    assert not pruned.root.is_leaf  # a clean threshold split survives
+    assert pruned.n_leaves == 2
+
+
+def test_prune_mdl_single_leaf_noop(tiny_quest):
+    from repro.baselines import induce_serial
+    from repro.core import InductionConfig
+    from repro.tree import prune_mdl
+
+    tree = induce_serial(tiny_quest, InductionConfig(max_depth=0))
+    pruned = prune_mdl(tree)
+    assert pruned.root.is_leaf
+    assert pruned.root.structurally_equal(tree.root)
