@@ -42,7 +42,7 @@ from .datagen import (
     random_dataset,
 )
 from .perfmodel import CRAY_T3D, MachineSpec, SimulatedRunStats
-from .runtime import run_spmd
+from .runtime import available_backends, run_spmd
 from .tree import (
     DecisionTree,
     accuracy,
@@ -69,6 +69,7 @@ __all__ = [
     "SimulatedRunStats",
     "__version__",
     "accuracy",
+    "available_backends",
     "confusion_matrix",
     "feature_importances",
     "fit_scalparc",

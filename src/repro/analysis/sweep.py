@@ -41,12 +41,15 @@ def run_grid(
     algorithm: str = "scalparc",
     config: InductionConfig | None = None,
     machine: MachineSpec | None = None,
+    backend: str | None = None,
     progress: Callable[[str], None] | None = None,
 ) -> list[RunPoint]:
     """Run the classifier over every (size, p) cell and collect stats.
 
     ``dataset_factory(n)`` must return a training set of n records
     (deterministically, so all cells of one size share the data).
+    ``backend`` selects the SPMD engine for every cell (sweeps at large p
+    are where the cooperative backend pays off).
     """
     if algorithm not in ALGORITHMS:
         raise ValueError(f"algorithm must be one of {ALGORITHMS}")
@@ -56,13 +59,14 @@ def run_grid(
         dataset = dataset_factory(n)
         for p in processor_counts:
             if algorithm == "scalparc":
-                clf = ScalParC(n_processors=p, config=config, machine=machine)
+                clf = ScalParC(n_processors=p, config=config, machine=machine,
+                               backend=backend)
             elif algorithm == "parallel-sprint":
                 clf = ParallelSPRINT(n_processors=p, config=config,
-                                     machine=machine)
+                                     machine=machine, backend=backend)
             else:
                 clf = VerticalSliqClassifier(n_processors=p, config=config,
-                                             machine=machine)
+                                             machine=machine, backend=backend)
             result = clf.fit(dataset)
             points.append(RunPoint(
                 algorithm=algorithm,

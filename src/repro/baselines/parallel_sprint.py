@@ -117,7 +117,7 @@ class ParallelSPRINT:
 
     def __init__(self, n_processors: int = 4,
                  config: InductionConfig | None = None,
-                 machine=None):
+                 machine=None, backend: str | None = None):
         from ..perfmodel import CRAY_T3D
 
         if n_processors <= 0:
@@ -127,6 +127,7 @@ class ParallelSPRINT:
         self.n_processors = n_processors
         self.config = config or InductionConfig()
         self.machine = CRAY_T3D if machine is None else machine
+        self.backend = backend if backend is not None else self.config.backend
 
     def fit(self, dataset: Dataset):
         """Train on the simulated machine; returns tree + priced stats."""
@@ -137,7 +138,7 @@ class ParallelSPRINT:
         perf = PerfRun(self.n_processors, self.machine)
         trees = run_spmd(
             self.n_processors, sprint_worker, args=(dataset, self.config),
-            observer=perf, rank_perf=perf.trackers,
+            observer=perf, rank_perf=perf.trackers, backend=self.backend,
         )
         return FitResult(tree=trees[0], stats=perf.stats(),
                          n_processors=self.n_processors)

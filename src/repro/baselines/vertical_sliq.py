@@ -248,7 +248,8 @@ class VerticalSliqClassifier:
     """
 
     def __init__(self, n_processors: int = 4,
-                 config: InductionConfig | None = None, machine=None):
+                 config: InductionConfig | None = None, machine=None,
+                 backend: str | None = None):
         from ..perfmodel import CRAY_T3D
 
         if n_processors <= 0:
@@ -258,6 +259,7 @@ class VerticalSliqClassifier:
         self.n_processors = n_processors
         self.config = config or InductionConfig()
         self.machine = CRAY_T3D if machine is None else machine
+        self.backend = backend if backend is not None else self.config.backend
 
     def fit(self, dataset: Dataset):
         """Train on the simulated machine; returns tree + priced stats."""
@@ -268,7 +270,7 @@ class VerticalSliqClassifier:
         trees = run_spmd(
             self.n_processors, vertical_sliq_worker,
             args=(dataset, self.config),
-            observer=perf, rank_perf=perf.trackers,
+            observer=perf, rank_perf=perf.trackers, backend=self.backend,
         )
         return FitResult(tree=trees[0], stats=perf.stats(),
                          n_processors=self.n_processors)

@@ -32,6 +32,7 @@ from pathlib import Path
 from .analysis import format_series, run_grid, speedup_series
 from .baselines import induce_serial
 from .core import InductionConfig, ScalParC
+from .runtime import available_backends
 from .datagen import (
     FUNCTION_NAMES,
     generate_quest,
@@ -64,6 +65,10 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--noise", type=float, default=0.0,
                        help="label perturbation probability")
     train.add_argument("--processors", type=int, default=8)
+    train.add_argument("--backend", choices=available_backends(),
+                       default=None,
+                       help="SPMD engine (default: REPRO_SPMD_BACKEND "
+                            "env var, then thread)")
     train.add_argument("--serial", action="store_true",
                        help="use the serial reference instead of ScalParC")
     train.add_argument("--max-depth", type=int, default=None)
@@ -102,6 +107,10 @@ def build_parser() -> argparse.ArgumentParser:
     scale.add_argument("--processors", type=_int_list, default=[2, 4, 8, 16])
     scale.add_argument("--function", choices=FUNCTION_NAMES, default="F2")
     scale.add_argument("--seed", type=int, default=1)
+    scale.add_argument("--backend", choices=available_backends(),
+                       default=None,
+                       help="SPMD engine for every sweep cell "
+                            "(cooperative is fastest at large p)")
 
     report = sub.add_parser("report", help="collect benchmark artifacts")
     report.add_argument("--results", type=Path,
@@ -141,7 +150,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
         tree = induce_serial(train_set, config)
         stats = None
     else:
-        result = ScalParC(args.processors, config=config).fit(train_set)
+        result = ScalParC(args.processors, config=config,
+                          backend=args.backend).fit(train_set)
         tree, stats = result.tree, result.stats
     if args.prune:
         tree = prune_pessimistic(tree)
@@ -199,6 +209,7 @@ def _cmd_scale(args: argparse.Namespace) -> int:
     points = run_grid(
         lambda n: paper_dataset(n, args.function, seed=args.seed),
         args.sizes, args.processors,
+        backend=args.backend,
         progress=lambda msg: print("  " + msg),
     )
     times = {}

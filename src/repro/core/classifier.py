@@ -48,9 +48,14 @@ class ScalParC:
     machine:
         Machine spec for the performance model, or ``None`` to skip
         pricing entirely.  Defaults to the Cray-T3D-like preset.
+    backend:
+        SPMD execution engine (``"thread"``, ``"process"``,
+        ``"cooperative"``); ``None`` defers to ``config.backend``, then
+        the ``REPRO_SPMD_BACKEND`` environment variable, then thread.
 
-    The induced tree is *independent of* ``n_processors``: any p produces
-    exactly the serial reference's tree.
+    The induced tree is *independent of* both ``n_processors`` and
+    ``backend``: any combination produces exactly the serial reference's
+    tree.
     """
 
     def __init__(
@@ -58,6 +63,7 @@ class ScalParC:
         n_processors: int = 4,
         config: InductionConfig | None = None,
         machine: MachineSpec | None = CRAY_T3D,
+        backend: str | None = None,
     ):
         if n_processors <= 0:
             raise ValueError(
@@ -66,6 +72,7 @@ class ScalParC:
         self.n_processors = n_processors
         self.config = config or InductionConfig()
         self.machine = machine
+        self.backend = backend if backend is not None else self.config.backend
 
     def fit(self, dataset: Dataset) -> FitResult:
         """Induce a decision tree from ``dataset`` on the simulated
@@ -76,11 +83,13 @@ class ScalParC:
                 self.n_processors, induce_worker,
                 args=(dataset, self.config),
                 observer=perf, rank_perf=perf.trackers,
+                backend=self.backend,
             )
             stats = perf.stats()
         else:
             trees = run_spmd(
-                self.n_processors, induce_worker, args=(dataset, self.config)
+                self.n_processors, induce_worker,
+                args=(dataset, self.config), backend=self.backend,
             )
             stats = None
         return FitResult(tree=trees[0], stats=stats,
@@ -92,6 +101,7 @@ def fit_scalparc(
     n_processors: int = 4,
     config: InductionConfig | None = None,
     machine: MachineSpec | None = CRAY_T3D,
+    backend: str | None = None,
 ) -> FitResult:
     """Functional one-liner around :class:`ScalParC`."""
-    return ScalParC(n_processors, config, machine).fit(dataset)
+    return ScalParC(n_processors, config, machine, backend=backend).fit(dataset)

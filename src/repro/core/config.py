@@ -52,6 +52,11 @@ class InductionConfig:
         single enquire per level instead of one per attribute — same
         bytes, 1 all-to-all latency pair instead of n_a−1.  Parallel only;
         never changes the induced tree.
+    backend:
+        SPMD execution engine for the parallel run: ``"thread"``,
+        ``"process"``, ``"cooperative"``, or ``None`` to defer to the
+        ``REPRO_SPMD_BACKEND`` environment variable (default thread).
+        The induced tree is backend-independent.  Parallel only.
     """
 
     max_depth: int | None = None
@@ -64,8 +69,17 @@ class InductionConfig:
     max_update_block: int | None = None
     per_node_communication: bool = False
     combined_enquiry: bool = False
+    backend: str | None = None
 
     def __post_init__(self):
+        if self.backend is not None:
+            from ..runtime import available_backends
+
+            if self.backend not in available_backends():
+                raise ValueError(
+                    f"backend must be one of {available_backends()}, "
+                    f"got {self.backend!r}"
+                )
         if self.max_depth is not None and self.max_depth < 0:
             raise ValueError("max_depth must be >= 0 or None")
         if self.min_split_records < 2:

@@ -48,6 +48,7 @@ def parallel_predict(
     dataset: Dataset,
     n_processors: int = 4,
     machine: MachineSpec | None = None,
+    backend: str | None = None,
 ) -> np.ndarray:
     """Predict labels for every record using ``n_processors`` ranks."""
     if dataset.n_records == 0:
@@ -56,10 +57,11 @@ def parallel_predict(
         perf = PerfRun(n_processors, machine)
         results = run_spmd(n_processors, predict_worker,
                            args=(tree, dataset),
-                           observer=perf, rank_perf=perf.trackers)
+                           observer=perf, rank_perf=perf.trackers,
+                           backend=backend)
     else:
         results = run_spmd(n_processors, predict_worker,
-                           args=(tree, dataset))
+                           args=(tree, dataset), backend=backend)
     return results[0]
 
 
@@ -68,6 +70,7 @@ def parallel_score(
     dataset: Dataset,
     n_processors: int = 4,
     machine: MachineSpec | None = CRAY_T3D,
+    backend: str | None = None,
 ) -> float:
     """Accuracy of ``tree`` on ``dataset``, computed in parallel."""
     if dataset.n_records == 0:
@@ -75,7 +78,9 @@ def parallel_score(
     if machine is not None:
         perf = PerfRun(n_processors, machine)
         results = run_spmd(n_processors, score_worker, args=(tree, dataset),
-                           observer=perf, rank_perf=perf.trackers)
+                           observer=perf, rank_perf=perf.trackers,
+                           backend=backend)
     else:
-        results = run_spmd(n_processors, score_worker, args=(tree, dataset))
+        results = run_spmd(n_processors, score_worker, args=(tree, dataset),
+                           backend=backend)
     return results[0]

@@ -109,6 +109,66 @@ class RankTracker:
         """Snapshot the clock at a phase/level boundary."""
         self.level_marks.append((label, self.clock))
 
+    # -- cross-process synchronisation ------------------------------------
+    #
+    # The process engine keeps two live copies of each tracker: one inside
+    # the rank's worker process (authoritative for computation and memory,
+    # because ``add_compute``/``register_bytes`` run there) and one beside
+    # the router/observer in the parent (authoritative for communication,
+    # because the observer prices collectives there).  The engine calls the
+    # hooks below — duck-typed, so any ``perf`` object lacking them simply
+    # stays process-local:
+    #
+    # * ``sync_compute_state`` / ``apply_compute_state`` piggyback the
+    #   worker's compute-side state on every engine request, so the
+    #   observer prices collectives against up-to-date clocks;
+    # * ``comm_state`` / ``apply_comm_state`` carry the observer's pricing
+    #   back on every reply, so the worker's clock includes comm costs;
+    # * ``merge_remote`` folds the worker's final tracker into the parent
+    #   copy when the rank exits.
+    #
+    # The simulated clock is advanced on both sides and merged by ``max``
+    # (each side only ever adds time the other has not yet seen), while the
+    # single-authority fields are overwritten with the authority's value.
+
+    def sync_compute_state(self) -> tuple:
+        """Compute-side state to piggyback on an engine request."""
+        return (self.clock, self.comp_seconds, self._persistent_total,
+                self.memory_watermark)
+
+    def apply_compute_state(self, state: tuple) -> None:
+        """Fold a worker's compute-side state into this (parent) copy."""
+        clock, comp_seconds, persistent_total, watermark = state
+        self.clock = max(self.clock, clock)
+        self.comp_seconds = comp_seconds
+        self._persistent_total = persistent_total
+        self.memory_watermark = max(self.memory_watermark, watermark)
+
+    def comm_state(self) -> tuple:
+        """Comm-side state to carry back on an engine reply."""
+        return (self.clock, self.comm_seconds, self.memory_watermark)
+
+    def apply_comm_state(self, state: tuple) -> None:
+        """Fold the parent copy's comm pricing into this (worker) copy."""
+        clock, comm_seconds, watermark = state
+        self.clock = max(self.clock, clock)
+        self.comm_seconds = comm_seconds
+        self.memory_watermark = max(self.memory_watermark, watermark)
+
+    def merge_remote(self, remote: "RankTracker") -> None:
+        """Fold a rank's final worker-side tracker into this parent copy
+        (traffic counters stay local — the observer priced them here)."""
+        self.clock = max(self.clock, remote.clock)
+        self.comm_seconds = max(self.comm_seconds, remote.comm_seconds)
+        self.comp_seconds = remote.comp_seconds
+        self.compute_units = remote.compute_units
+        self.phase_seconds = remote.phase_seconds
+        self.persistent_bytes = remote.persistent_bytes
+        self._persistent_total = remote._persistent_total
+        self.level_marks = remote.level_marks
+        self.memory_watermark = max(self.memory_watermark,
+                                    remote.memory_watermark)
+
 
 class PerfRun:
     """One priced SPMD run: builds per-rank trackers and acts as the

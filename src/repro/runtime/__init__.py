@@ -1,10 +1,17 @@
 """Simulated SPMD message-passing runtime (the repo's "MPI" substrate).
 
 The ScalParC paper runs on MPI over a Cray T3D.  This package provides a
-faithful stand-in: logical ranks executed as synchronized threads, a full
-MPI-1-style collective library over numpy buffers, point-to-point
-messaging, collective-order verification, and observer hooks that the
-performance model uses to price every byte that moves.
+faithful stand-in: logical ranks, a full MPI-1-style collective library
+over numpy buffers, point-to-point messaging, collective-order
+verification, and observer hooks that the performance model uses to price
+every byte that moves.
+
+*How* ranks execute is pluggable (see :mod:`repro.runtime.engines`):
+``backend="thread"`` (default) runs ranks as synchronized threads,
+``"process"`` as OS processes (GIL-free compute), ``"cooperative"`` under
+a deterministic round-robin scheduler with structural deadlock detection.
+All algorithm code is engine-agnostic — it only ever sees the
+:class:`Communicator` API.
 
 Quick use::
 
@@ -15,26 +22,34 @@ Quick use::
         return int(total)
 
     assert run_spmd(4, worker) == [6, 6, 6, 6]
+    assert run_spmd(4, worker, backend="cooperative") == [6, 6, 6, 6]
 """
 
 from . import reduction
-from .communicator import Communicator, NullPerf
+from .communicator import ANY_TAG, Communicator, NullPerf, Request
+from .engines import (
+    DEFAULT_BACKEND,
+    DEFAULT_TIMEOUT,
+    SpmdEngine,
+    available_backends,
+    get_engine,
+    register_engine,
+    resolve_backend,
+    resolve_timeout,
+    run_spmd,
+)
 from .errors import (
     CollectiveAbortedError,
     CollectiveMismatchError,
     InvalidRankError,
+    RemoteTraceback,
     SpmdError,
     SpmdWorkerError,
+    WorkerCrashError,
 )
 from .payload import payload_nbytes
 from .reduction import ReduceOp, make_op
-from .thread_engine import (
-    ANY_TAG,
-    CommObserver,
-    Request,
-    ThreadCommunicator,
-    run_spmd,
-)
+from .thread_engine import CommObserver, ThreadCommunicator
 
 __all__ = [
     "ANY_TAG",
@@ -42,15 +57,25 @@ __all__ = [
     "CollectiveMismatchError",
     "CommObserver",
     "Communicator",
+    "DEFAULT_BACKEND",
+    "DEFAULT_TIMEOUT",
     "InvalidRankError",
     "NullPerf",
     "ReduceOp",
+    "RemoteTraceback",
     "Request",
+    "SpmdEngine",
     "SpmdError",
     "SpmdWorkerError",
     "ThreadCommunicator",
+    "WorkerCrashError",
+    "available_backends",
+    "get_engine",
     "make_op",
     "payload_nbytes",
     "reduction",
+    "register_engine",
+    "resolve_backend",
+    "resolve_timeout",
     "run_spmd",
 ]

@@ -15,7 +15,10 @@ Engines implement two primitives:
 
 Everything else (bcast, gather, allgather(v), scatter, reduce, allreduce,
 scan, exscan, alltoall(v), barrier) is built here on top of ``_exchange``,
-so semantics and accounting are engine-independent.
+so semantics and accounting are engine-independent.  Engines additionally
+provide ``_try_recv`` / ``_probe`` (non-blocking point-to-point probes),
+from which the nonblocking :class:`Request` API is derived here, and
+``split`` (sub-communicators).
 """
 
 from __future__ import annotations
@@ -29,7 +32,10 @@ from .errors import InvalidRankError
 from .payload import payload_nbytes
 from .reduction import ReduceOp
 
-__all__ = ["Communicator", "NullPerf"]
+__all__ = ["ANY_TAG", "Communicator", "NullPerf", "Request"]
+
+#: any tag matches in recv/probe when passed as the tag argument
+ANY_TAG = -1
 
 # type of the byte-accounting callback: contributions -> (sent, recv) per rank
 _BytesFn = Callable[[list], tuple[list[int], list[int]]]
@@ -110,6 +116,49 @@ class Communicator(ABC):
     def recv(self, source: int, tag: int = 0) -> Any:
         """Blocking point-to-point receive matching (source, tag) in FIFO
         order per (source, tag) channel."""
+
+    def _try_recv(self, source: int, tag: int) -> tuple[bool, Any]:
+        """Non-blocking receive primitive: ``(matched, payload)``."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support nonblocking receive"
+        )
+
+    def _probe(self, source: int, tag: int) -> bool:
+        """Non-destructive test for a matching message (MPI_Iprobe)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support probing"
+        )
+
+    def split(self, color: int, key: int | None = None) -> "Communicator | None":
+        """Partition the communicator into sub-communicators
+        (MPI_Comm_split); negative colors opt out and return ``None``."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support sub-communicators"
+        )
+
+    # ------------------------------------------------------------------
+    # nonblocking point-to-point (engine-independent, via _try_recv)
+    # ------------------------------------------------------------------
+
+    def iprobe(self, source: int, tag: int = 0) -> bool:
+        """Non-destructively test whether a matching message is waiting."""
+        if not 0 <= source < self.size:
+            raise InvalidRankError(f"source {source} outside [0, {self.size})")
+        return self._probe(source, tag)
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> "Request":
+        """Nonblocking send; the buffered transport completes immediately,
+        so the returned request is already done (MPI buffered-send
+        semantics)."""
+        self.send(obj, dest, tag)
+        return Request(_done=True)
+
+    def irecv(self, source: int, tag: int = 0) -> "Request":
+        """Nonblocking receive; poll with :meth:`Request.test` or block
+        with :meth:`Request.wait`."""
+        if not 0 <= source < self.size:
+            raise InvalidRankError(f"source {source} outside [0, {self.size})")
+        return Request(_comm=self, _source=source, _tag=tag)
 
     # ------------------------------------------------------------------
     # collectives
@@ -359,3 +408,43 @@ class Communicator(ABC):
             return sent, recv
 
         return self._exchange("alltoallv", list(arrays), combine, comm_bytes)
+
+
+class Request:
+    """Handle for a nonblocking operation (the MPI_Request analogue).
+
+    ``test()`` polls without blocking; ``wait()`` blocks until completion
+    and returns the received object (None for sends).  A request may be
+    completed exactly once.  Works on every engine via the communicator's
+    ``_try_recv`` / ``recv`` primitives.
+    """
+
+    def __init__(self, _comm: "Communicator | None" = None,
+                 _source: int = -1, _tag: int = 0, _done: bool = False):
+        self._comm = _comm
+        self._source = _source
+        self._tag = _tag
+        self._done = _done
+        self._payload: Any = None
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def test(self) -> tuple[bool, Any]:
+        """(completed, payload); never blocks."""
+        if self._done:
+            return True, self._payload
+        found, payload = self._comm._try_recv(self._source, self._tag)
+        if found:
+            self._done = True
+            self._payload = payload
+        return self._done, self._payload
+
+    def wait(self) -> Any:
+        """Block until the operation completes; returns the payload."""
+        if self._done:
+            return self._payload
+        self._payload = self._comm.recv(self._source, self._tag)
+        self._done = True
+        return self._payload

@@ -1,0 +1,60 @@
+"""Pluggable SPMD engines (execution backends) for the runtime.
+
+See :mod:`repro.runtime.engines.base` for the contract.  The built-in
+backends are registered lazily here:
+
+========== ===================================================== =========
+name       execution model                                       best for
+========== ===================================================== =========
+thread     one Python thread per rank (GIL-serialized compute)   default; shared-memory payloads
+process    one OS process per rank (GIL-free)                    wall-clock speedup on multi-core hosts
+cooperative round-robin coroutine scheduling, one rank runnable  large perf-model sweeps; instant deadlock detection
+========== ===================================================== =========
+"""
+
+from .base import (
+    DEFAULT_BACKEND,
+    DEFAULT_TIMEOUT,
+    SpmdEngine,
+    available_backends,
+    get_engine,
+    register_engine,
+    resolve_backend,
+    resolve_timeout,
+    run_spmd,
+)
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "DEFAULT_TIMEOUT",
+    "SpmdEngine",
+    "available_backends",
+    "get_engine",
+    "register_engine",
+    "resolve_backend",
+    "resolve_timeout",
+    "run_spmd",
+]
+
+
+def _thread_factory() -> SpmdEngine:
+    from .thread import ThreadEngine
+
+    return ThreadEngine()
+
+
+def _process_factory() -> SpmdEngine:
+    from .process import ProcessEngine
+
+    return ProcessEngine()
+
+
+def _cooperative_factory() -> SpmdEngine:
+    from .cooperative import CooperativeEngine
+
+    return CooperativeEngine()
+
+
+register_engine("thread", _thread_factory)
+register_engine("process", _process_factory)
+register_engine("cooperative", _cooperative_factory)

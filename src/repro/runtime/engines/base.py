@@ -1,0 +1,217 @@
+"""SPMD engine contract, registry and the dispatching :func:`run_spmd`.
+
+An *engine* (or *backend*) is a strategy for executing the ``size``
+logical ranks of an SPMD job.  Every engine provides the same programming
+model — each rank runs ``worker(comm, *args, **kwargs)`` against a
+:class:`~repro.runtime.communicator.Communicator` honoring MPI collective
+semantics, collective-order verification, abort-on-failure, and the
+observer/performance hooks — but engines differ in *how* ranks execute:
+
+``thread``
+    One Python thread per rank (the original engine).  Shared-memory
+    payloads, preemptive scheduling, timeouts guard against deadlock.
+``process``
+    One OS process per rank (GIL-free; real wall-clock parallelism).
+    Payloads travel over pipes through a parent-side router.
+``cooperative``
+    All ranks multiplexed by a deterministic round-robin scheduler with
+    exactly one rank runnable at a time: no lock contention, no timed
+    waits, and structural (instant) deadlock detection.
+
+The registry is lazy: backends are registered as factories and only
+imported when first requested, so e.g. ``multiprocessing`` machinery is
+never touched by thread-only runs.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Sequence
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "DEFAULT_TIMEOUT",
+    "SpmdEngine",
+    "available_backends",
+    "get_engine",
+    "register_engine",
+    "resolve_backend",
+    "resolve_timeout",
+    "run_spmd",
+]
+
+#: default seconds a rank may wait inside one communication call before
+#: the job is aborted (engines with structural deadlock detection ignore it)
+DEFAULT_TIMEOUT = 120.0
+
+#: environment override for the wait timeout (seconds, float)
+TIMEOUT_ENV = "REPRO_SPMD_TIMEOUT"
+
+#: environment override for the default backend name
+BACKEND_ENV = "REPRO_SPMD_BACKEND"
+
+DEFAULT_BACKEND = "thread"
+
+
+def resolve_timeout(timeout: float | None = None) -> float:
+    """Pick the effective communication-wait timeout.
+
+    Precedence: explicit ``timeout`` argument, then the
+    ``REPRO_SPMD_TIMEOUT`` environment variable, then
+    :data:`DEFAULT_TIMEOUT`.  CI sets the env var low to fail fast; long
+    sweeps raise it so slow combine phases never spuriously abort.
+    """
+    if timeout is None:
+        env = os.environ.get(TIMEOUT_ENV)
+        if not env:
+            return DEFAULT_TIMEOUT
+        try:
+            timeout = float(env)
+        except ValueError:
+            raise ValueError(
+                f"{TIMEOUT_ENV} must be a number of seconds, got {env!r}"
+            ) from None
+    if timeout <= 0:
+        raise ValueError(f"timeout must be positive, got {timeout}")
+    return float(timeout)
+
+
+def resolve_backend(backend: str | None = None) -> str:
+    """Pick the effective backend name: explicit argument, then the
+    ``REPRO_SPMD_BACKEND`` environment variable, then ``"thread"``."""
+    if backend is not None:
+        return backend
+    return os.environ.get(BACKEND_ENV) or DEFAULT_BACKEND
+
+
+class SpmdEngine(ABC):
+    """Execution strategy for one SPMD job.
+
+    Engines are stateless singletons: all per-job state lives inside
+    :meth:`run`, so a failed job can never poison the next one and
+    concurrent jobs on one engine are safe.
+    """
+
+    #: registry name of the backend
+    name: str = "?"
+
+    #: True when the engine detects deadlocks structurally (making the
+    #: wait timeout irrelevant); False when it relies on timed waits
+    detects_deadlock: bool = False
+
+    @abstractmethod
+    def run(
+        self,
+        size: int,
+        worker: Callable[..., Any],
+        args: Sequence[Any] = (),
+        kwargs: dict | None = None,
+        *,
+        observer: Any | None = None,
+        rank_perf: Sequence[Any] | None = None,
+        timeout: float | None = None,
+    ) -> list:
+        """Execute ``worker(comm, *args, **kwargs)`` on ``size`` ranks and
+        return the per-rank results in rank order; raise
+        :class:`~repro.runtime.errors.SpmdWorkerError` if any rank failed."""
+
+
+_FACTORIES: dict[str, Callable[[], SpmdEngine]] = {}
+_ENGINES: dict[str, SpmdEngine] = {}
+
+
+def register_engine(name: str, factory: Callable[[], SpmdEngine],
+                    *, replace: bool = False) -> None:
+    """Register a backend under ``name``.
+
+    ``factory`` is called at most once, on first :func:`get_engine` use.
+    Third-party engines plug in here; ``replace=True`` allows overriding
+    a built-in (e.g. an instrumented engine in tests).
+    """
+    if not replace and name in _FACTORIES:
+        raise ValueError(f"backend {name!r} is already registered")
+    _FACTORIES[name] = factory
+    _ENGINES.pop(name, None)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of all registered backends, in registration order."""
+    return tuple(_FACTORIES)
+
+
+def get_engine(name: str | None = None) -> SpmdEngine:
+    """Resolve a backend name (see :func:`resolve_backend`) to its engine
+    instance, instantiating it on first use."""
+    name = resolve_backend(name)
+    engine = _ENGINES.get(name)
+    if engine is None:
+        try:
+            factory = _FACTORIES[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown SPMD backend {name!r}; "
+                f"available: {', '.join(available_backends())}"
+            ) from None
+        engine = _ENGINES[name] = factory()
+    return engine
+
+
+def run_spmd(
+    size: int,
+    worker: Callable[..., Any],
+    args: Sequence[Any] = (),
+    kwargs: dict | None = None,
+    *,
+    observer: Any | None = None,
+    rank_perf: Sequence[Any] | None = None,
+    backend: str | None = None,
+    timeout: float | None = None,
+) -> list:
+    """Run ``worker(comm, *args, **kwargs)`` on ``size`` logical ranks.
+
+    Parameters
+    ----------
+    size:
+        Number of ranks (the simulated machine's processor count).
+    worker:
+        The SPMD function; receives its rank's
+        :class:`~repro.runtime.communicator.Communicator` first.
+    args, kwargs:
+        Extra arguments passed *identically* to every rank (like argv of
+        an MPI job).  Per-rank data must be derived from ``comm.rank``.
+    observer:
+        Optional :class:`~repro.runtime.thread_engine.CommObserver`
+        (e.g. the perf model's clock); invoked exactly once per
+        communication event on every backend.
+    rank_perf:
+        Optional per-rank tracker objects exposed as ``comm.perf``.
+    backend:
+        Engine name (``"thread"``, ``"process"``, ``"cooperative"``, or
+        any registered extension); ``None`` defers to the
+        ``REPRO_SPMD_BACKEND`` environment variable, then ``"thread"``.
+    timeout:
+        Seconds a rank may wait inside one communication call before the
+        job aborts; ``None`` defers to ``REPRO_SPMD_TIMEOUT``, then 120.
+        Ignored by engines with structural deadlock detection.
+
+    Returns
+    -------
+    list
+        Per-rank return values of ``worker``, in rank order.
+
+    Raises
+    ------
+    SpmdWorkerError
+        If any rank raised; carries all per-rank failures plus their
+        formatted tracebacks (``.failures`` / ``.tracebacks``).
+    """
+    if size <= 0:
+        raise ValueError(f"size must be positive, got {size}")
+    if rank_perf is not None and len(rank_perf) != size:
+        raise ValueError("rank_perf must supply one tracker per rank")
+    return get_engine(backend).run(
+        size, worker, args, kwargs,
+        observer=observer, rank_perf=rank_perf,
+        timeout=resolve_timeout(timeout),
+    )

@@ -1,0 +1,721 @@
+"""The ``process`` backend: one OS process per rank, GIL-free compute.
+
+Topology: the parent process runs a single-threaded *router* and owns the
+observer plus the per-rank performance trackers; each rank is a child
+process connected to the router by one duplex pipe.  Children never talk
+to each other directly — every collective, point-to-point message, probe
+and split flows through the router, which applies exactly the same
+rendezvous/mailbox semantics as the thread engine (order-checked
+collectives, FIFO per-(source, tag) channels, abort on failure).
+
+Combine functions are per-call closures that exist only inside the rank
+processes, so the router cannot run them.  Instead, when the last member
+of a collective arrives, the router ships the contribution list to the
+group's rank-0 child (which is parked inside the same ``_exchange`` call
+and therefore holds the right closure), lets it compute the result list
+and the byte accounting, and distributes the per-rank results.
+
+Protocol discipline (deadlock freedom on the pipes): children write only
+requests, the router writes only *replies* to a request it has already
+read — abort notifications included, which are delivered as the reply to
+each rank's pending or next request, never unsolicited.  Hence the two
+sides are never blocked writing to each other simultaneously.
+
+Perf-model fidelity: compute time is burned inside the children, comm
+time is priced by the observer inside the router, and the simulated
+clock must interleave both.  Children piggyback
+``tracker.sync_compute_state()`` on every request and apply the
+router-side ``tracker.comm_state()`` carried by every reply; on exit
+each child ships its whole tracker home and the router calls
+``tracker.merge_remote``.  All hooks are duck-typed, so custom ``perf``
+objects without them degrade gracefully (they simply stay child-local).
+
+Start method: ``fork`` where available (workers and closures need no
+pickling), overridable via ``REPRO_SPMD_START_METHOD``.  Under ``spawn``
+the worker, its arguments and its return value must be picklable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import os
+import pickle
+import time
+import traceback
+from collections import deque
+from typing import Any, Callable, Sequence
+
+from ..communicator import ANY_TAG, Communicator
+from ..errors import (
+    CollectiveAbortedError,
+    CollectiveMismatchError,
+    InvalidRankError,
+    RemoteTraceback,
+    SpmdWorkerError,
+    WorkerCrashError,
+)
+from ..payload import payload_nbytes
+from .base import SpmdEngine, resolve_timeout
+
+__all__ = ["ProcessEngine", "ProcessCommunicator"]
+
+#: env var overriding the multiprocessing start method (fork/spawn/forkserver)
+START_METHOD_ENV = "REPRO_SPMD_START_METHOD"
+
+#: seconds the router waits for children to acknowledge an abort before
+#: terminating them
+_ABORT_GRACE = 10.0
+
+_ROOT_CTX = 0
+
+
+def _mp_context() -> multiprocessing.context.BaseContext:
+    method = os.environ.get(START_METHOD_ENV)
+    if method:
+        return multiprocessing.get_context(method)
+    for method in ("fork", "spawn"):
+        if method in multiprocessing.get_all_start_methods():
+            return multiprocessing.get_context(method)
+    return multiprocessing.get_context()
+
+
+# ----------------------------------------------------------------------
+# child side
+# ----------------------------------------------------------------------
+
+
+class ProcessCommunicator(Communicator):
+    """Child-side communicator: one duplex pipe to the router."""
+
+    def __init__(self, conn: Any, ctx: int, rank: int, size: int,
+                 perf: Any | None = None):
+        super().__init__(rank, size, perf=perf)
+        self._conn = conn
+        self._ctx = ctx
+
+    # -- clock synchronisation with the router -------------------------
+
+    def _cstate(self) -> Any:
+        fn = getattr(self.perf, "sync_compute_state", None)
+        return fn() if fn is not None else None
+
+    def _apply_comm(self, state: Any) -> None:
+        if state is not None:
+            fn = getattr(self.perf, "apply_comm_state", None)
+            if fn is not None:
+                fn(state)
+
+    # -- request/reply core --------------------------------------------
+
+    def _request(self, msg: tuple, combine: Callable | None = None,
+                 comm_bytes: Callable | None = None) -> Any:
+        self._conn.send(msg)
+        while True:
+            reply = self._conn.recv()
+            kind = reply[0]
+            if kind == "result":
+                _, value, comm_state = reply
+                self._apply_comm(comm_state)
+                return value
+            if kind == "combine":
+                # this rank is the group's combiner for the current step
+                contribs = reply[1]
+                try:
+                    results = combine(contribs)
+                    if len(results) != self.size:
+                        raise AssertionError(
+                            f"combine returned {len(results)} results for "
+                            f"{self.size} ranks"
+                        )
+                    if comm_bytes is not None:
+                        sent, recv = comm_bytes(contribs)
+                    else:
+                        sent = recv = [0] * self.size
+                except BaseException as exc:
+                    self._conn.send((
+                        "combine_error", self._ctx,
+                        f"{type(exc).__name__}: {exc}",
+                        traceback.format_exc(),
+                    ))
+                    raise
+                self._conn.send((
+                    "combined", self._ctx, results, list(sent), list(recv),
+                ))
+                continue
+            if kind == "mismatch":
+                raise CollectiveMismatchError(reply[1])
+            if kind == "abort":
+                _, message, origin, tb = reply
+                err = CollectiveAbortedError(message, origin_rank=origin)
+                if tb:
+                    err.__cause__ = RemoteTraceback(tb)
+                raise err
+            raise RuntimeError(f"unexpected engine reply {kind!r}")
+
+    # -- engine primitives ---------------------------------------------
+
+    def _exchange(self, op, payload, combine, comm_bytes=None):
+        return self._request(
+            ("coll", self._ctx, op, payload, self._cstate()),
+            combine=combine, comm_bytes=comm_bytes,
+        )
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        if not 0 <= dest < self.size:
+            raise InvalidRankError(f"dest {dest} outside [0, {self.size})")
+        # fire-and-forget: buffered send, no reply expected
+        self._conn.send(("send", self._ctx, dest, tag, obj, self._cstate()))
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        if not 0 <= source < self.size:
+            raise InvalidRankError(f"source {source} outside [0, {self.size})")
+        return self._request(("recv", self._ctx, source, tag, self._cstate()))
+
+    def _try_recv(self, source: int, tag: int) -> tuple[bool, Any]:
+        found, payload = self._request(
+            ("tryrecv", self._ctx, source, tag, self._cstate())
+        )
+        return found, payload
+
+    def _probe(self, source: int, tag: int) -> bool:
+        return self._request(("probe", self._ctx, source, tag, self._cstate()))
+
+    def split(self, color: int, key: int | None = None) \
+            -> "ProcessCommunicator | None":
+        """Partition the communicator (MPI_Comm_split); the router computes
+        the grouping, so no user closure crosses the process boundary."""
+        plan = self._request((
+            "split", self._ctx, color,
+            key if key is not None else self.rank, self._cstate(),
+        ))
+        if plan is None:
+            return None
+        new_ctx, new_rank, new_size = plan
+        return ProcessCommunicator(self._conn, new_ctx, new_rank, new_size,
+                                   perf=self.perf)
+
+
+def _child_main(conn: Any, rank: int, size: int, worker: Callable,
+                args: tuple, kwargs: dict, perf: Any | None) -> None:
+    comm = ProcessCommunicator(conn, _ROOT_CTX, rank, size, perf=perf)
+    try:
+        result = worker(comm, *args, **kwargs)
+    except CollectiveAbortedError as exc:
+        conn.send(("aborted", str(exc), exc.origin_rank,
+                   traceback.format_exc(), perf))
+    except BaseException as exc:
+        try:
+            blob = pickle.dumps(exc)
+        except Exception:
+            blob = None
+        conn.send(("error", f"{type(exc).__name__}: {exc}",
+                   traceback.format_exc(), blob, perf))
+    else:
+        try:
+            conn.send(("done", result, perf))
+        except Exception as exc:      # unpicklable worker result
+            conn.send(("error",
+                       f"worker result not transferable: "
+                       f"{type(exc).__name__}: {exc}",
+                       traceback.format_exc(), None, perf))
+    finally:
+        conn.close()
+
+
+def _child_main_fork(child_ends: list, parent_ends: list, rank: int,
+                     size: int, worker: Callable, args: tuple,
+                     kwargs: dict, perf: Any | None) -> None:
+    # under fork every child inherits every pipe end; close all but ours so
+    # the router sees EOF promptly when any single rank dies
+    for r, (c, p) in enumerate(zip(child_ends, parent_ends)):
+        p.close()
+        if r != rank:
+            c.close()
+    _child_main(child_ends[rank], rank, size, worker, args, kwargs, perf)
+
+
+# ----------------------------------------------------------------------
+# parent side (router)
+# ----------------------------------------------------------------------
+
+
+class _Ctx:
+    """Router-side state of one communicator (collective step + mailboxes)."""
+
+    __slots__ = ("members", "index", "size", "op", "contribs", "arrived",
+                 "error", "boxes")
+
+    def __init__(self, members: list[int]):
+        self.members = members                      # group rank -> global
+        self.index = {m: g for g, m in enumerate(members)}
+        self.size = len(members)
+        self.op: str | None = None
+        self.contribs: list = [None] * self.size
+        self.arrived: set[int] = set()
+        self.error: str | None = None               # sticky mismatch
+        self.boxes: list[deque] = [deque() for _ in members]
+
+    def reset_step(self) -> None:
+        self.op = None
+        self.contribs = [None] * self.size
+        self.arrived = set()
+
+
+class _Pending:
+    """One child's outstanding blocking request."""
+
+    __slots__ = ("kind", "ctx", "deadline", "extra")
+
+    def __init__(self, kind: str, ctx: int, deadline: float,
+                 extra: Any = None):
+        self.kind = kind
+        self.ctx = ctx
+        self.deadline = deadline
+        self.extra = extra
+
+
+class _Router:
+    """Single-threaded event loop matching requests across rank pipes."""
+
+    def __init__(self, size: int, conns: list, procs: list,
+                 observer: Any | None, rank_perf: Sequence[Any] | None,
+                 timeout: float):
+        self.size = size
+        self.conns = conns
+        self.procs = procs
+        self.observer = observer
+        self.rank_perf = rank_perf
+        self.timeout = timeout
+        self.rank_of = {id(c): r for r, c in enumerate(conns)}
+        self.ctxs: dict[int, _Ctx] = {_ROOT_CTX: _Ctx(list(range(size)))}
+        self.next_ctx = _ROOT_CTX + 1
+        self.pending: dict[int, _Pending] = {}
+        self.alive: set[int] = set(range(size))
+        self.results: list = [None] * size
+        self.finished: set[int] = set()
+        self.failures: dict[int, BaseException] = {}
+        self.tracebacks: dict[int, str] = {}
+        self.error: CollectiveAbortedError | None = None
+        self.error_tb: str = ""
+        self.kill_deadline: float | None = None
+
+    # -- tracker plumbing ----------------------------------------------
+
+    def _apply_cstate(self, rank: int, cstate: Any) -> None:
+        if cstate is not None and self.rank_perf is not None:
+            fn = getattr(self.rank_perf[rank], "apply_compute_state", None)
+            if fn is not None:
+                fn(cstate)
+
+    def _comm_state(self, rank: int) -> Any:
+        if self.rank_perf is not None:
+            fn = getattr(self.rank_perf[rank], "comm_state", None)
+            if fn is not None:
+                return fn()
+        return None
+
+    def _merge_tracker(self, rank: int, blob: Any) -> None:
+        if blob is not None and self.rank_perf is not None:
+            fn = getattr(self.rank_perf[rank], "merge_remote", None)
+            if fn is not None:
+                fn(blob)
+
+    # -- replies --------------------------------------------------------
+
+    def _reply(self, rank: int, msg: tuple) -> None:
+        try:
+            self.conns[rank].send(msg)
+        except (OSError, ValueError):
+            pass                        # child already gone; EOF handles it
+
+    def _reply_result(self, rank: int, value: Any) -> None:
+        self.pending.pop(rank, None)
+        self._reply(rank, ("result", value, self._comm_state(rank)))
+
+    def _reply_abort(self, rank: int) -> None:
+        self.pending.pop(rank, None)
+        self._reply(rank, ("abort", str(self.error),
+                           self.error.origin_rank, self.error_tb))
+
+    # -- abort management ----------------------------------------------
+
+    def _set_error(self, message: str, origin: int | None,
+                   tb: str = "") -> None:
+        if self.error is not None:
+            return
+        self.error = CollectiveAbortedError(message, origin_rank=origin)
+        if tb:
+            self.error.__cause__ = RemoteTraceback(tb)
+        self.error_tb = tb
+        self.kill_deadline = time.monotonic() + _ABORT_GRACE
+        for rank in list(self.pending):
+            self._reply_abort(rank)
+
+    def _on_crash(self, rank: int) -> None:
+        self.alive.discard(rank)
+        if rank not in self.finished:
+            self.finished.add(rank)
+            self.failures[rank] = WorkerCrashError(
+                f"rank {rank} worker process died unexpectedly"
+            )
+            self._set_error(
+                f"rank {rank} worker process died unexpectedly", rank
+            )
+
+    # -- per-message handling ------------------------------------------
+
+    def _mismatch(self, ctx_id: int, ctx: _Ctx, rank: int, op: str) -> None:
+        g = ctx.index[rank]
+        message = (
+            f"rank {g} called {op!r} while peers are in {ctx.op!r}"
+        )
+        ctx.error = message
+        stuck = [m for m in ctx.members
+                 if m in self.pending and self.pending[m].ctx == ctx_id
+                 and self.pending[m].kind in ("coll", "split")]
+        ctx.reset_step()
+        self._reply(rank, ("mismatch", message))
+        self.pending.pop(rank, None)
+        for m in stuck:
+            self.pending.pop(m, None)
+            self._reply(m, ("mismatch", message))
+
+    def _ptp_observe(self, ctx: _Ctx, src_g: int, dest_g: int,
+                     payload: Any) -> None:
+        if ctx is self.ctxs[_ROOT_CTX] and self.observer is not None:
+            self.observer.on_ptp(src_g, dest_g, payload_nbytes(payload))
+
+    def _arrive(self, rank: int, ctx_id: int, op: str, payload: Any,
+                kind: str) -> None:
+        """Common arrival bookkeeping for 'coll' and 'split' requests."""
+        ctx = self.ctxs[ctx_id]
+        if self.error is not None:
+            self._reply(rank, ("abort", str(self.error),
+                               self.error.origin_rank, self.error_tb))
+            return
+        if ctx.error is not None:
+            self._reply(rank, ("mismatch", ctx.error))
+            return
+        if not ctx.arrived:
+            ctx.op = op
+        elif op != ctx.op:
+            self._mismatch(ctx_id, ctx, rank, op)
+            return
+        g = ctx.index[rank]
+        ctx.contribs[g] = payload
+        ctx.arrived.add(g)
+        self.pending[rank] = _Pending(
+            kind, ctx_id, time.monotonic() + self.timeout, op
+        )
+        if len(ctx.arrived) < ctx.size:
+            return
+        if kind == "split":
+            self._finish_split(ctx_id, ctx)
+        else:
+            # ship contributions to the group's combiner (its rank 0)
+            self._reply(ctx.members[0], ("combine", list(ctx.contribs)))
+
+    def _finish_split(self, ctx_id: int, ctx: _Ctx) -> None:
+        groups: dict[int, list[tuple[int, int]]] = {}
+        for g, (color, key) in enumerate(ctx.contribs):
+            if color >= 0:
+                groups.setdefault(color, []).append((key, g))
+        plans: list = [None] * ctx.size
+        for color, members in sorted(groups.items()):
+            members.sort()
+            new_ctx = self.next_ctx
+            self.next_ctx += 1
+            self.ctxs[new_ctx] = _Ctx(
+                [ctx.members[g] for _k, g in members]
+            )
+            for new_rank, (_k, g) in enumerate(members):
+                plans[g] = (new_ctx, new_rank, len(members))
+        if ctx is self.ctxs[_ROOT_CTX] and self.observer is not None:
+            zeros = [0] * ctx.size
+            self.observer.on_collective("split", zeros, zeros, ctx.size)
+        ctx.reset_step()
+        for g, member in enumerate(ctx.members):
+            self._reply_result(member, plans[g])
+
+    def _on_combined(self, rank: int, msg: tuple) -> None:
+        if self.error is not None:
+            return                      # stale; combiner already aborted
+        _, ctx_id, results, sent, recv = msg
+        ctx = self.ctxs[ctx_id]
+        if ctx is self.ctxs[_ROOT_CTX] and self.observer is not None:
+            self.observer.on_collective(ctx.op, sent, recv, ctx.size)
+        ctx.reset_step()
+        for g, member in enumerate(ctx.members):
+            self._reply_result(member, results[g])
+
+    def _on_send(self, rank: int, msg: tuple) -> None:
+        _, ctx_id, dest, tag, payload, cstate = msg
+        self._apply_cstate(rank, cstate)
+        if self.error is not None:
+            return
+        ctx = self.ctxs[ctx_id]
+        src_g = ctx.index[rank]
+        dest_global = ctx.members[dest]
+        p = self.pending.get(dest_global)
+        if p is not None and p.kind == "recv" and p.ctx == ctx_id:
+            want_src, want_tag = p.extra
+            if want_src == src_g and (want_tag == ANY_TAG or want_tag == tag):
+                self._ptp_observe(ctx, src_g, dest, payload)
+                self._reply_result(dest_global, payload)
+                return
+        ctx.boxes[dest].append((src_g, tag, payload))
+
+    def _match_box(self, ctx: _Ctx, dest_g: int, source: int, tag: int,
+                   *, pop: bool) -> tuple[bool, Any]:
+        box = ctx.boxes[dest_g]
+        for idx, (src, msg_tag, payload) in enumerate(box):
+            if src == source and (tag == ANY_TAG or msg_tag == tag):
+                if pop:
+                    del box[idx]
+                return True, payload
+        return False, None
+
+    def _on_recv(self, rank: int, msg: tuple) -> None:
+        _, ctx_id, source, tag, cstate = msg
+        self._apply_cstate(rank, cstate)
+        if self.error is not None:
+            self._reply(rank, ("abort", str(self.error),
+                               self.error.origin_rank, self.error_tb))
+            return
+        ctx = self.ctxs[ctx_id]
+        dest_g = ctx.index[rank]
+        found, payload = self._match_box(ctx, dest_g, source, tag, pop=True)
+        if found:
+            self._ptp_observe(ctx, source, dest_g, payload)
+            self._reply_result(rank, payload)
+            return
+        self.pending[rank] = _Pending(
+            "recv", ctx_id, time.monotonic() + self.timeout, (source, tag)
+        )
+
+    def _on_tryrecv(self, rank: int, msg: tuple) -> None:
+        _, ctx_id, source, tag, cstate = msg
+        self._apply_cstate(rank, cstate)
+        if self.error is not None:
+            self._reply(rank, ("abort", str(self.error),
+                               self.error.origin_rank, self.error_tb))
+            return
+        ctx = self.ctxs[ctx_id]
+        dest_g = ctx.index[rank]
+        found, payload = self._match_box(ctx, dest_g, source, tag, pop=True)
+        if found:
+            self._ptp_observe(ctx, source, dest_g, payload)
+        self._reply_result(rank, (found, payload))
+
+    def _on_probe(self, rank: int, msg: tuple) -> None:
+        _, ctx_id, source, tag, cstate = msg
+        self._apply_cstate(rank, cstate)
+        if self.error is not None:
+            self._reply(rank, ("abort", str(self.error),
+                               self.error.origin_rank, self.error_tb))
+            return
+        ctx = self.ctxs[ctx_id]
+        dest_g = ctx.index[rank]
+        found, _ = self._match_box(ctx, dest_g, source, tag, pop=False)
+        self._reply_result(rank, found)
+
+    def _on_final(self, rank: int, msg: tuple) -> None:
+        kind = msg[0]
+        self.finished.add(rank)
+        self.alive.discard(rank)
+        self.pending.pop(rank, None)
+        if kind == "done":
+            _, result, blob = msg
+            self.results[rank] = result
+            self._merge_tracker(rank, blob)
+        elif kind == "aborted":
+            _, message, origin, tb, blob = msg
+            self.failures[rank] = CollectiveAbortedError(
+                message, origin_rank=origin
+            )
+            self.tracebacks[rank] = tb
+            self._merge_tracker(rank, blob)
+        else:                           # "error"
+            _, message, tb, blob_exc, blob = msg
+            exc: BaseException | None = None
+            if blob_exc is not None:
+                try:
+                    exc = pickle.loads(blob_exc)
+                except Exception:
+                    exc = None
+            if exc is None:
+                exc = WorkerCrashError(
+                    f"rank {rank}: {message} (original exception not "
+                    f"transferable)"
+                )
+            exc.__cause__ = RemoteTraceback(tb)
+            self.failures[rank] = exc
+            self.tracebacks[rank] = tb
+            self._merge_tracker(rank, blob)
+            self._set_error(f"rank {rank} aborted: {message}", rank, tb)
+
+    def _handle(self, rank: int, msg: tuple) -> None:
+        kind = msg[0]
+        if kind == "coll":
+            _, ctx_id, op, payload, cstate = msg
+            self._apply_cstate(rank, cstate)
+            self._arrive(rank, ctx_id, op, payload, "coll")
+        elif kind == "split":
+            _, ctx_id, color, key, cstate = msg
+            self._apply_cstate(rank, cstate)
+            self._arrive(rank, ctx_id, "split", (color, key), "split")
+        elif kind == "combined":
+            self._on_combined(rank, msg)
+        elif kind == "combine_error":
+            _, ctx_id, message, tb = msg
+            self.pending.pop(rank, None)
+            self._set_error(f"rank {rank} aborted: {message}", rank, tb)
+        elif kind == "send":
+            self._on_send(rank, msg)
+        elif kind == "recv":
+            self._on_recv(rank, msg)
+        elif kind == "tryrecv":
+            self._on_tryrecv(rank, msg)
+        elif kind == "probe":
+            self._on_probe(rank, msg)
+        elif kind in ("done", "aborted", "error"):
+            self._on_final(rank, msg)
+        else:
+            raise RuntimeError(f"unexpected engine request {kind!r}")
+
+    # -- timeouts -------------------------------------------------------
+
+    def _fire_timeout(self) -> None:
+        now = time.monotonic()
+        if self.kill_deadline is not None and now >= self.kill_deadline:
+            # children ignored the abort: force-terminate the stragglers
+            for rank in sorted(self.alive):
+                self.procs[rank].terminate()
+                if rank not in self.finished:
+                    self.finished.add(rank)
+                    self.failures.setdefault(rank, WorkerCrashError(
+                        f"rank {rank} terminated after abort grace period"
+                    ))
+            self.alive.clear()
+            return
+        expired = sorted(
+            r for r, p in self.pending.items() if now >= p.deadline
+        )
+        if not expired:
+            return
+        detail = "; ".join(
+            f"rank {r} in {self.pending[r].kind} "
+            f"({self.pending[r].extra!r})" if self.pending[r].extra
+            else f"rank {r} in {self.pending[r].kind}"
+            for r in expired
+        )
+        self._set_error(
+            f"timed out after {self.timeout:.1f}s: {detail}", None
+        )
+
+    def _wait_timeout(self) -> float | None:
+        deadlines = [p.deadline for p in self.pending.values()]
+        if self.kill_deadline is not None:
+            deadlines.append(self.kill_deadline)
+        if not deadlines:
+            return None
+        return max(0.0, min(deadlines) - time.monotonic())
+
+    # -- main loop ------------------------------------------------------
+
+    def run(self) -> None:
+        while self.alive:
+            ready = multiprocessing.connection.wait(
+                [self.conns[r] for r in self.alive],
+                timeout=self._wait_timeout(),
+            )
+            if not ready:
+                self._fire_timeout()
+                continue
+            for conn in ready:
+                rank = self.rank_of[id(conn)]
+                if rank not in self.alive:
+                    continue
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    self._on_crash(rank)
+                    continue
+                self._handle(rank, msg)
+
+
+class ProcessEngine(SpmdEngine):
+    """Runs ranks as OS processes coordinated by an in-parent router."""
+
+    name = "process"
+    detects_deadlock = False
+
+    def run(
+        self,
+        size: int,
+        worker: Callable[..., Any],
+        args: Sequence[Any] = (),
+        kwargs: dict | None = None,
+        *,
+        observer: Any | None = None,
+        rank_perf: Sequence[Any] | None = None,
+        timeout: float | None = None,
+    ) -> list:
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        if rank_perf is not None and len(rank_perf) != size:
+            raise ValueError("rank_perf must supply one tracker per rank")
+        kwargs = kwargs or {}
+        timeout = resolve_timeout(timeout)
+
+        ctx = _mp_context()
+        fork = ctx.get_start_method() == "fork"
+        pipes = [ctx.Pipe(duplex=True) for _ in range(size)]
+        parent_ends = [p for p, _c in pipes]
+        child_ends = [c for _p, c in pipes]
+
+        procs = []
+        for rank in range(size):
+            perf = rank_perf[rank] if rank_perf is not None else None
+            if fork:
+                target, pargs = _child_main_fork, (
+                    child_ends, parent_ends, rank, size,
+                    worker, tuple(args), kwargs, perf,
+                )
+            else:
+                target, pargs = _child_main, (
+                    child_ends[rank], rank, size,
+                    worker, tuple(args), kwargs, perf,
+                )
+            procs.append(ctx.Process(
+                target=target, args=pargs,
+                name=f"spmd-rank-{rank}", daemon=True,
+            ))
+        for p in procs:
+            p.start()
+        for c in child_ends:
+            c.close()
+
+        router = _Router(size, parent_ends, procs, observer, rank_perf,
+                         timeout)
+        try:
+            router.run()
+        finally:
+            for p in procs:
+                p.join(timeout=_ABORT_GRACE)
+                if p.is_alive():
+                    p.terminate()
+                    p.join(timeout=1.0)
+            for c in parent_ends:
+                c.close()
+
+        if router.failures:
+            roots = {
+                r: e for r, e in router.failures.items()
+                if not isinstance(e, (CollectiveAbortedError,
+                                      WorkerCrashError))
+            }
+            raise SpmdWorkerError(roots or router.failures,
+                                  router.tracebacks)
+        return router.results

@@ -1,0 +1,45 @@
+"""The ``thread`` backend: one Python thread per rank.
+
+Thin adapter over :mod:`repro.runtime.thread_engine` (the original
+engine), which remains importable directly for back-compat.  Properties:
+
+* shared-memory payloads (zero-copy between ranks);
+* preemptive OS scheduling — compute is GIL-serialized, but numpy kernels
+  release the GIL, so vectorized workloads see partial overlap;
+* deterministic results (every collective is a full barrier and all data
+  flow happens under one lock), though *scheduling order* between
+  collectives is up to the OS;
+* timed waits guard against deadlock (``timeout`` / ``REPRO_SPMD_TIMEOUT``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from ..thread_engine import run_spmd as _thread_run_spmd
+from .base import SpmdEngine
+
+__all__ = ["ThreadEngine"]
+
+
+class ThreadEngine(SpmdEngine):
+    """Runs ranks as synchronized Python threads (the default backend)."""
+
+    name = "thread"
+    detects_deadlock = False
+
+    def run(
+        self,
+        size: int,
+        worker: Callable[..., Any],
+        args: Sequence[Any] = (),
+        kwargs: dict | None = None,
+        *,
+        observer: Any | None = None,
+        rank_perf: Sequence[Any] | None = None,
+        timeout: float | None = None,
+    ) -> list:
+        return _thread_run_spmd(
+            size, worker, args, kwargs,
+            observer=observer, rank_perf=rank_perf, timeout=timeout,
+        )

@@ -48,15 +48,51 @@ class MessageTruncatedError(SpmdError):
     """A receive buffer was too small for the matched message."""
 
 
+class WorkerCrashError(SpmdError):
+    """A worker rank died without raising a transferable exception (its
+    process exited hard, or its exception could not be pickled home)."""
+
+
+class RemoteTraceback(Exception):
+    """Carries the formatted traceback of an exception raised in another
+    process; attached as ``__cause__`` so the remote stack shows up in the
+    local traceback (the ``multiprocessing.pool`` convention)."""
+
+    def __init__(self, tb: str):
+        super().__init__(tb)
+        self.tb = tb
+
+    def __str__(self) -> str:
+        return "\n" + self.tb
+
+
 class SpmdWorkerError(SpmdError):
     """Wrapper re-raised by :func:`repro.runtime.run_spmd` when one or more
-    worker ranks failed; ``failures`` maps rank -> exception."""
+    worker ranks failed.
 
-    def __init__(self, failures: dict[int, BaseException]):
+    ``failures`` maps rank -> exception; ``tracebacks`` maps rank -> the
+    formatted traceback captured where the exception was raised (including
+    inside worker processes for the process backend), so the originating
+    rank's stack is never lost to the engine boundary.
+    """
+
+    def __init__(self, failures: dict[int, BaseException],
+                 tracebacks: dict[int, str] | None = None):
         ranks = ", ".join(str(r) for r in sorted(failures))
-        first = failures[min(failures)]
-        super().__init__(
+        first_rank = min(failures)
+        first = failures[first_rank]
+        message = (
             f"SPMD worker(s) on rank(s) {ranks} failed; "
             f"first failure: {type(first).__name__}: {first}"
         )
+        tracebacks = {
+            r: tb for r, tb in (tracebacks or {}).items() if r in failures
+        }
+        if first_rank in tracebacks:
+            message += (
+                f"\n--- rank {first_rank} traceback ---\n"
+                f"{tracebacks[first_rank].rstrip()}"
+            )
+        super().__init__(message)
         self.failures = failures
+        self.tracebacks = tracebacks

@@ -20,10 +20,12 @@ the simulated clocks of all ranks in lock-step.
 from __future__ import annotations
 
 import threading
+import traceback
 from collections import deque
 from typing import Any, Callable, Protocol, Sequence
 
-from .communicator import Communicator
+from .communicator import ANY_TAG, Communicator, Request
+from .engines.base import resolve_timeout
 from .errors import (
     CollectiveAbortedError,
     CollectiveMismatchError,
@@ -33,11 +35,6 @@ from .errors import (
 from .payload import payload_nbytes
 
 __all__ = ["ThreadCommunicator", "CommObserver", "Request", "run_spmd"]
-
-#: any tag matches in recv when passed as the tag argument
-ANY_TAG = -1
-
-_WAIT_TIMEOUT = 120.0  # seconds before a stuck rendezvous raises
 
 
 class CommObserver(Protocol):
@@ -56,9 +53,11 @@ class CommObserver(Protocol):
 class _Rendezvous:
     """All-ranks meeting point executing one collective step at a time."""
 
-    def __init__(self, size: int, observer: CommObserver | None):
+    def __init__(self, size: int, observer: CommObserver | None,
+                 timeout: float | None = None):
         self.size = size
         self.observer = observer
+        self.timeout = resolve_timeout(timeout)
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._generation = 0
@@ -133,7 +132,7 @@ class _Rendezvous:
                 return results[rank]
             # wait for the step to complete
             while self._generation == gen and self._error is None:
-                if not self._cond.wait(timeout=_WAIT_TIMEOUT):
+                if not self._cond.wait(timeout=self.timeout):
                     raise CollectiveAbortedError(
                         f"rank {rank} timed out inside collective {op!r} "
                         f"({self._arrived}/{self.size} ranks arrived)"
@@ -146,9 +145,11 @@ class _Rendezvous:
 class _Mailboxes:
     """Point-to-point channels: one FIFO per destination rank."""
 
-    def __init__(self, size: int, observer: CommObserver | None):
+    def __init__(self, size: int, observer: CommObserver | None,
+                 timeout: float | None = None):
         self.size = size
         self.observer = observer
+        self.timeout = resolve_timeout(timeout)
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._boxes: list[deque] = [deque() for _ in range(size)]
@@ -194,7 +195,7 @@ class _Mailboxes:
                 found, payload = self._match(rank, source, tag, pop=True)
                 if found:
                     return payload
-                if not self._cond.wait(timeout=_WAIT_TIMEOUT):
+                if not self._cond.wait(timeout=self.timeout):
                     raise CollectiveAbortedError(
                         f"rank {rank} timed out in recv(source={source}, tag={tag})"
                     )
@@ -242,25 +243,11 @@ class ThreadCommunicator(Communicator):
             raise InvalidRankError(f"source {source} outside [0, {self.size})")
         return self._mailboxes.recv(self.rank, source, tag)
 
-    def iprobe(self, source: int, tag: int = 0) -> bool:
-        """Non-destructively test whether a matching message is waiting."""
-        if not 0 <= source < self.size:
-            raise InvalidRankError(f"source {source} outside [0, {self.size})")
+    def _try_recv(self, source: int, tag: int) -> tuple[bool, Any]:
+        return self._mailboxes.try_recv(self.rank, source, tag)
+
+    def _probe(self, source: int, tag: int) -> bool:
         return self._mailboxes.probe(self.rank, source, tag)
-
-    def isend(self, obj: Any, dest: int, tag: int = 0) -> "Request":
-        """Nonblocking send; the buffered transport completes immediately,
-        so the returned request is already done (MPI buffered-send
-        semantics)."""
-        self.send(obj, dest, tag)
-        return Request(_done=True)
-
-    def irecv(self, source: int, tag: int = 0) -> "Request":
-        """Nonblocking receive; poll with :meth:`Request.test` or block
-        with :meth:`Request.wait`."""
-        if not 0 <= source < self.size:
-            raise InvalidRankError(f"source {source} outside [0, {self.size})")
-        return Request(_comm=self, _source=source, _tag=tag)
 
     def split(self, color: int, key: int | None = None) -> "ThreadCommunicator | None":
         """Partition the communicator into sub-communicators (MPI_Comm_split).
@@ -290,8 +277,8 @@ class ThreadCommunicator(Communicator):
             for c, members in groups.items():
                 members.sort()
                 size = len(members)
-                rendezvous = _Rendezvous(size, None)
-                mailboxes = _Mailboxes(size, None)
+                rendezvous = _Rendezvous(size, None, self._rendezvous.timeout)
+                mailboxes = _Mailboxes(size, None, self._mailboxes.timeout)
                 for new_rank, (_k, old_rank) in enumerate(members):
                     plans[old_rank] = (new_rank, size, rendezvous, mailboxes)
             return plans
@@ -304,47 +291,6 @@ class ThreadCommunicator(Communicator):
                                   perf=self.perf)
 
 
-class Request:
-    """Handle for a nonblocking operation (the MPI_Request analogue).
-
-    ``test()`` polls without blocking; ``wait()`` blocks until completion
-    and returns the received object (None for sends).  A request may be
-    completed exactly once.
-    """
-
-    def __init__(self, _comm: "ThreadCommunicator | None" = None,
-                 _source: int = -1, _tag: int = 0, _done: bool = False):
-        self._comm = _comm
-        self._source = _source
-        self._tag = _tag
-        self._done = _done
-        self._payload: Any = None
-
-    @property
-    def done(self) -> bool:
-        return self._done
-
-    def test(self) -> tuple[bool, Any]:
-        """(completed, payload); never blocks."""
-        if self._done:
-            return True, self._payload
-        found, payload = self._comm._mailboxes.try_recv(
-            self._comm.rank, self._source, self._tag
-        )
-        if found:
-            self._done = True
-            self._payload = payload
-        return self._done, self._payload
-
-    def wait(self) -> Any:
-        """Block until the operation completes; returns the payload."""
-        if self._done:
-            return self._payload
-        self._payload = self._comm.recv(self._source, self._tag)
-        self._done = True
-        return self._payload
-
-
 def run_spmd(
     size: int,
     worker: Callable[..., Any],
@@ -353,8 +299,11 @@ def run_spmd(
     *,
     observer: CommObserver | None = None,
     rank_perf: Sequence[Any] | None = None,
+    timeout: float | None = None,
 ) -> list:
-    """Run ``worker(comm, *args, **kwargs)`` on ``size`` logical ranks.
+    """Run ``worker(comm, *args, **kwargs)`` on ``size`` logical ranks
+    (thread backend; see :func:`repro.runtime.engines.run_spmd` for the
+    backend-dispatching front door).
 
     Parameters
     ----------
@@ -370,6 +319,9 @@ def run_spmd(
         Optional :class:`CommObserver` (e.g. the perf model's clock).
     rank_perf:
         Optional per-rank tracker objects exposed as ``comm.perf``.
+    timeout:
+        Seconds a rank may wait inside one communication call before the
+        job aborts; ``None`` defers to ``REPRO_SPMD_TIMEOUT``, then 120.
 
     Returns
     -------
@@ -386,11 +338,13 @@ def run_spmd(
     if rank_perf is not None and len(rank_perf) != size:
         raise ValueError("rank_perf must supply one tracker per rank")
     kwargs = kwargs or {}
+    timeout = resolve_timeout(timeout)
 
-    rendezvous = _Rendezvous(size, observer)
-    mailboxes = _Mailboxes(size, observer)
+    rendezvous = _Rendezvous(size, observer, timeout)
+    mailboxes = _Mailboxes(size, observer, timeout)
     results: list = [None] * size
     failures: dict[int, BaseException] = {}
+    tracebacks: dict[int, str] = {}
     failures_lock = threading.Lock()
 
     def run_rank(rank: int) -> None:
@@ -402,10 +356,13 @@ def run_spmd(
             # secondary failure caused by another rank; record only if it
             # originated here (origin rank records the root cause below)
             with failures_lock:
-                failures.setdefault(rank, exc)
+                if rank not in failures:
+                    failures[rank] = exc
+                    tracebacks[rank] = traceback.format_exc()
         except BaseException as exc:
             with failures_lock:
                 failures[rank] = exc
+                tracebacks[rank] = traceback.format_exc()
             rendezvous.abort(exc, rank)
             mailboxes.abort(exc, rank)
 
@@ -428,5 +385,5 @@ def run_spmd(
             r: e for r, e in failures.items()
             if not isinstance(e, CollectiveAbortedError)
         }
-        raise SpmdWorkerError(roots or failures)
+        raise SpmdWorkerError(roots or failures, tracebacks)
     return results

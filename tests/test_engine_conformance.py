@@ -1,0 +1,321 @@
+"""Engine-conformance suite: every backend must implement the identical
+Communicator contract.
+
+Each test is parametrized over ``available_backends()`` so a newly
+registered engine is automatically held to the same bar: collectives,
+point-to-point (blocking and nonblocking), sub-communicators, mismatch
+detection, abort semantics with preserved tracebacks, timeouts, observer
+accounting, perf-model fidelity, and end-to-end induction equivalence.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import InductionConfig
+from repro.core.induction import induce_worker
+from repro.perfmodel import CRAY_T3D, PerfRun
+from repro.runtime import (
+    ANY_TAG,
+    CollectiveAbortedError,
+    CollectiveMismatchError,
+    SpmdWorkerError,
+    available_backends,
+    get_engine,
+    reduction,
+    resolve_timeout,
+    run_spmd,
+)
+from repro.runtime.engines.base import DEFAULT_TIMEOUT, TIMEOUT_ENV
+
+from tests.conftest import assert_trees_equal
+
+BACKENDS = available_backends()
+
+pytestmark = pytest.mark.parametrize("backend", BACKENDS)
+
+
+# ----------------------------------------------------------------------
+# workers (module-level: the process backend may need to pickle them)
+# ----------------------------------------------------------------------
+
+
+def _collectives_worker(comm):
+    out = {}
+    out["bcast"] = comm.bcast("payload" if comm.rank == 1 else None, root=1)
+    out["gather"] = comm.gather(comm.rank * 10, root=0)
+    out["allgather"] = comm.allgather(comm.rank)
+    out["allgatherv"] = comm.allgatherv(
+        np.arange(comm.rank + 1, dtype=np.int64)
+    )
+    out["scatter"] = comm.scatter(
+        [f"item{i}" for i in range(comm.size)] if comm.rank == 0 else None
+    )
+    out["reduce"] = comm.reduce(np.int64(comm.rank + 1), reduction.SUM,
+                                root=0)
+    out["allreduce"] = comm.allreduce(np.int64(comm.rank + 1),
+                                      reduction.MAX)
+    out["scan"] = comm.scan(np.int64(comm.rank + 1), reduction.SUM)
+    out["exscan"] = comm.exscan(np.int64(comm.rank + 1), reduction.SUM)
+    out["alltoall"] = comm.alltoall(
+        [comm.rank * 100 + j for j in range(comm.size)]
+    )
+    out["alltoallv"] = comm.alltoallv(
+        [np.full(j + 1, comm.rank, dtype=np.int64)
+         for j in range(comm.size)]
+    )
+    rs = comm.reduce_scatter(
+        np.full((comm.size, 2), comm.rank + 1, dtype=np.int64),
+        reduction.SUM,
+    )
+    out["reduce_scatter"] = rs
+    comm.barrier()
+    return out
+
+
+def _ptp_worker(comm):
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    comm.send(("ring", comm.rank), right, tag=3)
+    ring = comm.recv(left, tag=3)
+    swapped = comm.sendrecv(comm.rank * 2, dest=right, source=left, tag=4)
+    # tag filtering: two messages to the same peer, received out of order
+    comm.send("second", right, tag=20)
+    comm.send("first", right, tag=10)
+    first = comm.recv(left, tag=10)
+    second = comm.recv(left, tag=20)
+    comm.send("wild", right, tag=77)
+    wild = comm.recv(left, tag=ANY_TAG)
+    return ring, swapped, first, second, wild
+
+
+def _nonblocking_worker(comm):
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    assert comm.iprobe(left, tag=6) is False     # nobody sends on tag 6
+    req = comm.irecv(left, tag=5)
+    sreq = comm.isend(comm.rank * 7, right, tag=5)
+    assert sreq.done is True
+    comm.barrier()                      # sends are now all delivered
+    assert comm.iprobe(left, tag=5) is True
+    done, value = req.test()
+    assert done is True
+    assert req.wait() == value
+    assert comm.iprobe(left, tag=5) is False
+    return value
+
+
+def _split_worker(comm):
+    parity = comm.rank % 2
+    sub = comm.split(parity, key=-comm.rank)       # reversed rank order
+    members = sub.allgather(comm.rank)
+    total = sub.allreduce(np.int64(comm.rank), reduction.SUM)
+    opt_out = comm.split(-1 if comm.rank == 0 else 0)
+    sub_of_sub = sub.split(0)
+    nested = sub_of_sub.allgather(comm.rank)
+    return members, int(total), opt_out is None or opt_out.size, nested
+
+
+def _mismatch_worker(comm):
+    if comm.rank == 0:
+        comm.barrier()
+    else:
+        comm.allgather(comm.rank)
+
+
+def _failing_worker(comm):
+    comm.barrier()
+    if comm.rank == 1:
+        raise RuntimeError("deliberate failure on rank 1")
+    comm.barrier()
+    return comm.rank
+
+
+def _deadlock_worker(comm):
+    comm.recv((comm.rank + 1) % comm.size, tag=99)
+
+
+def _priced_worker(comm):
+    comm.perf.register_bytes("table", 1000 * (comm.rank + 1))
+    comm.perf.add_compute("record", 500.0 * (comm.rank + 1))
+    comm.allreduce(np.int64(comm.rank), reduction.SUM)
+    comm.perf.add_compute("record", 100.0)
+    comm.send(np.arange(64, dtype=np.int64), (comm.rank + 1) % comm.size)
+    comm.recv((comm.rank - 1) % comm.size)
+    comm.perf.add_phase_time("phase-x", 0.5)
+    comm.perf.mark_level("L0")
+    comm.allgatherv(np.arange(comm.rank + 1, dtype=np.float64))
+    return comm.perf.clock
+
+
+def _timeout_echo_worker(comm):
+    return resolve_timeout(None)
+
+
+# ----------------------------------------------------------------------
+# the contract
+# ----------------------------------------------------------------------
+
+
+def test_collectives(backend):
+    size = 4
+    results = run_spmd(size, _collectives_worker, backend=backend)
+    ranks = list(range(size))
+    for rank, out in enumerate(results):
+        assert out["bcast"] == "payload"
+        assert out["gather"] == ([r * 10 for r in ranks] if rank == 0
+                                 else None)
+        assert out["allgather"] == ranks
+        np.testing.assert_array_equal(
+            out["allgatherv"],
+            np.concatenate([np.arange(r + 1) for r in ranks]),
+        )
+        assert out["scatter"] == f"item{rank}"
+        expected_sum = sum(r + 1 for r in ranks)
+        assert (out["reduce"] == expected_sum if rank == 0
+                else out["reduce"] is None)
+        assert out["allreduce"] == size
+        assert out["scan"] == sum(r + 1 for r in ranks[: rank + 1])
+        assert out["exscan"] == sum(r + 1 for r in ranks[:rank])
+        assert out["alltoall"] == [i * 100 + rank for i in ranks]
+        assert [a.tolist() for a in out["alltoallv"]] == [
+            [i] * (rank + 1) for i in ranks
+        ]
+        np.testing.assert_array_equal(
+            out["reduce_scatter"], np.full(2, expected_sum)
+        )
+
+
+def test_point_to_point(backend):
+    size = 4
+    results = run_spmd(size, _ptp_worker, backend=backend)
+    for rank, (ring, swapped, first, second, wild) in enumerate(results):
+        left = (rank - 1) % size
+        assert ring == ("ring", left)
+        assert swapped == left * 2
+        assert first == "first" and second == "second"
+        assert wild == "wild"
+
+
+def test_nonblocking_requests(backend):
+    size = 3
+    results = run_spmd(size, _nonblocking_worker, backend=backend)
+    for rank, value in enumerate(results):
+        assert value == ((rank - 1) % size) * 7
+
+
+def test_split(backend):
+    size = 6
+    results = run_spmd(size, _split_worker, backend=backend)
+    for rank, (members, total, opt_out, nested) in enumerate(results):
+        same_parity = [r for r in range(size) if r % 2 == rank % 2]
+        # key=-rank reverses the ordering inside each sub-communicator
+        assert members == sorted(same_parity, reverse=True)
+        assert total == sum(same_parity)
+        assert opt_out is True if rank == 0 else opt_out == size - 1
+        assert nested == sorted(same_parity, reverse=True)
+
+
+def test_mismatch_detected(backend):
+    with pytest.raises(SpmdWorkerError) as exc_info:
+        run_spmd(3, _mismatch_worker, backend=backend)
+    kinds = {type(e) for e in exc_info.value.failures.values()}
+    assert CollectiveMismatchError in kinds
+    assert kinds <= {CollectiveMismatchError, CollectiveAbortedError}
+
+
+def test_worker_failure_aborts_job(backend):
+    with pytest.raises(SpmdWorkerError) as exc_info:
+        run_spmd(3, _failing_worker, backend=backend, timeout=30.0)
+    err = exc_info.value
+    # the root cause is reported, not the secondary aborts
+    assert set(err.failures) == {1}
+    assert isinstance(err.failures[1], RuntimeError)
+    assert "deliberate failure on rank 1" in str(err)
+
+
+def test_traceback_preserved(backend):
+    """The originating rank's formatted traceback survives the engine
+    boundary — including the process boundary."""
+    with pytest.raises(SpmdWorkerError) as exc_info:
+        run_spmd(3, _failing_worker, backend=backend, timeout=30.0)
+    err = exc_info.value
+    assert 1 in err.tracebacks
+    tb = err.tracebacks[1]
+    assert "_failing_worker" in tb
+    assert "deliberate failure on rank 1" in tb
+    # the headline message carries the first failing rank's traceback
+    assert "--- rank 1 traceback ---" in str(err)
+
+
+def test_deadlock_aborts(backend):
+    """A stuck job aborts: structurally (cooperative) or via timeout."""
+    kwargs = {} if get_engine(backend).detects_deadlock else \
+        {"timeout": 0.5}
+    with pytest.raises(SpmdWorkerError) as exc_info:
+        run_spmd(2, _deadlock_worker, backend=backend, **kwargs)
+    kinds = {type(e) for e in exc_info.value.failures.values()}
+    assert kinds == {CollectiveAbortedError}
+
+
+def test_timeout_env_override(backend, monkeypatch):
+    monkeypatch.setenv(TIMEOUT_ENV, "17.5")
+    assert run_spmd(2, _timeout_echo_worker, backend=backend) == [17.5, 17.5]
+    monkeypatch.delenv(TIMEOUT_ENV)
+    assert run_spmd(
+        2, _timeout_echo_worker, backend=backend
+    ) == [DEFAULT_TIMEOUT] * 2
+
+
+def test_backend_env_selects_engine(backend, monkeypatch):
+    monkeypatch.setenv("REPRO_SPMD_BACKEND", backend)
+    assert run_spmd(2, _timeout_echo_worker) == [DEFAULT_TIMEOUT] * 2
+
+
+def test_perf_model_identical_across_backends(backend):
+    """The priced simulation is deterministic and engine-independent:
+    every backend must produce bit-identical clocks, traffic and memory."""
+    size = 4
+    perf = PerfRun(size, CRAY_T3D)
+    run_spmd(size, _priced_worker, backend=backend,
+             observer=perf, rank_perf=perf.trackers)
+    reference = PerfRun(size, CRAY_T3D)
+    run_spmd(size, _priced_worker, backend="thread",
+             observer=reference, rank_perf=reference.trackers)
+    for t, ref in zip(perf.trackers, reference.trackers):
+        assert t.clock == ref.clock
+        assert t.comp_seconds == ref.comp_seconds
+        assert t.comm_seconds == ref.comm_seconds
+        assert t.bytes_sent == ref.bytes_sent
+        assert t.bytes_recv == ref.bytes_recv
+        assert t.n_collectives == ref.n_collectives
+        assert t.n_ptp == ref.n_ptp
+        assert t.collective_counts == ref.collective_counts
+        assert t.collective_bytes == ref.collective_bytes
+        assert t.compute_units == ref.compute_units
+        assert t.phase_seconds == ref.phase_seconds
+        assert t.memory_watermark == ref.memory_watermark
+        assert t.level_marks == ref.level_marks
+
+
+def test_induction_identical_across_backends(backend, tiny_quest):
+    """Acceptance bar: ScalParC induces a structurally identical tree and
+    identical priced stats on every backend."""
+    perf = PerfRun(4, CRAY_T3D)
+    trees = run_spmd(4, induce_worker,
+                     args=(tiny_quest, InductionConfig()),
+                     observer=perf, rank_perf=perf.trackers,
+                     backend=backend)
+    ref_perf = PerfRun(4, CRAY_T3D)
+    ref_trees = run_spmd(4, induce_worker,
+                         args=(tiny_quest, InductionConfig()),
+                         observer=ref_perf, rank_perf=ref_perf.trackers,
+                         backend="thread")
+    assert_trees_equal(trees[0], ref_trees[0],
+                       context=f"({backend} vs thread)")
+    assert perf.stats().parallel_time == ref_perf.stats().parallel_time
+    assert perf.stats().memory_per_rank_max == \
+        ref_perf.stats().memory_per_rank_max
