@@ -71,6 +71,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "env var, then thread)")
     train.add_argument("--serial", action="store_true",
                        help="use the serial reference instead of ScalParC")
+    train.add_argument("--trace", action="store_true",
+                       help="record every rank's collective calls, "
+                            "conformance-check them after the run, and "
+                            "print the trace report (see also "
+                            "REPRO_SPMD_TRACE=1)")
     train.add_argument("--max-depth", type=int, default=None)
     train.add_argument("--criterion", choices=("gini", "entropy"),
                        default="gini")
@@ -145,13 +150,23 @@ def _cmd_train(args: argparse.Namespace) -> int:
         categorical_binary_subsets=args.subset_splits,
     )
     if args.serial:
+        if args.trace:
+            print("note: --trace has no effect with --serial "
+                  "(no collectives to record)", file=sys.stderr)
         if args.distributed_source:
             train_set = train_set.materialize()
         tree = induce_serial(train_set, config)
         stats = None
+        collector = None
     else:
+        collector = None
+        if args.trace:
+            from .runtime import TraceCollector
+
+            collector = TraceCollector()
         result = ScalParC(args.processors, config=config,
-                          backend=args.backend).fit(train_set)
+                          backend=args.backend).fit(train_set,
+                                                    trace=collector)
         tree, stats = result.tree, result.stats
     if args.prune:
         tree = prune_pessimistic(tree)
@@ -164,6 +179,10 @@ def _cmd_train(args: argparse.Namespace) -> int:
         print(f"test accuracy:  {accuracy(tree, test_set):.4f}")
     if stats is not None:
         print(stats.describe())
+    if collector is not None:
+        from .runtime import format_trace_report
+
+        print(format_trace_report(collector))
     if args.print_tree is not None:
         print(to_text(tree, max_depth=args.print_tree))
     if args.rules:

@@ -74,22 +74,29 @@ class ScalParC:
         self.machine = machine
         self.backend = backend if backend is not None else self.config.backend
 
-    def fit(self, dataset: Dataset) -> FitResult:
+    def fit(self, dataset: Dataset, trace: object | None = None) -> FitResult:
         """Induce a decision tree from ``dataset`` on the simulated
-        machine; returns the tree plus the priced run statistics."""
+        machine; returns the tree plus the priced run statistics.
+
+        ``trace`` accepts a
+        :class:`~repro.runtime.tracing.TraceCollector` (or ``True``) to
+        record every rank's collective calls for conformance checking and
+        phase-volume reporting; ``None`` defers to ``REPRO_SPMD_TRACE``.
+        """
         if self.machine is not None:
             perf = PerfRun(self.n_processors, self.machine)
             trees = run_spmd(
                 self.n_processors, induce_worker,
                 args=(dataset, self.config),
                 observer=perf, rank_perf=perf.trackers,
-                backend=self.backend,
+                backend=self.backend, trace=trace,
             )
             stats = perf.stats()
         else:
             trees = run_spmd(
                 self.n_processors, induce_worker,
                 args=(dataset, self.config), backend=self.backend,
+                trace=trace,
             )
             stats = None
         return FitResult(tree=trees[0], stats=stats,
@@ -102,6 +109,9 @@ def fit_scalparc(
     config: InductionConfig | None = None,
     machine: MachineSpec | None = CRAY_T3D,
     backend: str | None = None,
+    trace: object | None = None,
 ) -> FitResult:
     """Functional one-liner around :class:`ScalParC`."""
-    return ScalParC(n_processors, config, machine, backend=backend).fit(dataset)
+    return ScalParC(n_processors, config, machine, backend=backend).fit(
+        dataset, trace=trace,
+    )

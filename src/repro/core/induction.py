@@ -23,6 +23,7 @@ import numpy as np
 
 from ..datagen.schema import Dataset
 from ..runtime import Communicator
+from ..runtime.tracing import tag_level
 from ..tree.model import (
     CategoricalSplit,
     ContinuousSplit,
@@ -70,7 +71,7 @@ def induce_worker(
     n_classes = schema.n_classes
 
     # Presort + initial distribution
-    with timed_phase(comm.perf, PRESORT):
+    with timed_phase(comm, PRESORT):
         lists, n_total = build_local_lists(comm, dataset)
         split_phase.setup(comm, n_total)
 
@@ -88,7 +89,8 @@ def induce_worker(
 
     while pending:
         m = len(pending)
-        with timed_phase(comm.perf, FINDSPLIT1):
+        tag_level(comm, level)
+        with timed_phase(comm, FINDSPLIT1):
             totals = node_class_totals(comm, lists[0], m, n_classes)
         n_node = totals.sum(axis=1)
         depth_of = np.array([d for (_, _, d) in pending], dtype=np.int64)
@@ -117,7 +119,7 @@ def induce_worker(
                         cat_state[alist.attr_index] = state
                 take = candidate_beats(rows, local_best)
                 local_best = np.where(take[:, None], rows, local_best)
-            with timed_phase(comm.perf, FINDSPLIT2):
+            with timed_phase(comm, FINDSPLIT2):
                 best = global_best_splits(comm, local_best)
         else:
             best = local_best
@@ -142,7 +144,7 @@ def induce_worker(
                 my_layouts[int(k)] = (v2c.tolist(), n_children, default)
         merged_layouts: dict[int, tuple[list[int], int, int]] = {}
         if bool(split_ok.any()):
-            with timed_phase(comm.perf, FINDSPLIT2):
+            with timed_phase(comm, FINDSPLIT2):
                 for part in comm.allgather(my_layouts):
                     merged_layouts.update(part)
 

@@ -5,12 +5,18 @@ delta it spans to the named phase on this rank's tracker, letting the
 performance reports break the parallel runtime down into Presort /
 FindSplitI / FindSplitII / PerformSplitI / PerformSplitII — the
 per-phase table the paper's accompanying technical report studies.
+
+When the region is entered with the *communicator* (rather than a bare
+tracker), the phase name is additionally stamped onto every collective
+the region issues while the job is being traced
+(:mod:`repro.runtime.tracing`), and the tracker accumulates per-phase
+communication volume alongside per-phase time.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Any, Iterator
 
 __all__ = [
     "PRESORT",
@@ -31,10 +37,22 @@ ALL_PHASES = (PRESORT, FINDSPLIT1, FINDSPLIT2, PERFORMSPLIT1, PERFORMSPLIT2)
 
 
 @contextmanager
-def timed_phase(perf, name: str) -> Iterator[None]:
-    """Attribute the simulated time spent inside the block to ``name``."""
+def timed_phase(perf_or_comm: Any, name: str) -> Iterator[None]:
+    """Attribute the simulated time spent inside the block to ``name``.
+
+    Accepts either a tracker (anything with ``clock`` /
+    ``add_phase_time``) or a communicator — in the latter case the
+    block's collectives are also phase-tagged in the collective trace
+    when one is being recorded.
+    """
+    perf = getattr(perf_or_comm, "perf", perf_or_comm)
+    tracer = getattr(perf_or_comm, "_tracer", None)
+    if tracer is not None:
+        outer, tracer.phase = tracer.phase, name
     start = perf.clock
     try:
         yield
     finally:
         perf.add_phase_time(name, perf.clock - start)
+        if tracer is not None:
+            tracer.phase = outer

@@ -122,89 +122,87 @@ def perform_split(
         node_batches = [np.ones(m, dtype=bool)]
 
     # --- PerformSplitI: split winner lists, update the node table ---------
-    split1_start = comm.perf.clock
-    winner_entries: list[tuple[np.ndarray, np.ndarray]] = []
-    for alist in lists:
-        entries, ids = _local_children(
-            alist, decisions, np.ones(m, dtype=bool)
-        )
-        winner_entries.append((entries, ids))
-        comm.perf.add_compute("split", len(entries))
+    with timed_phase(comm, PERFORMSPLIT1):
+        winner_entries: list[tuple[np.ndarray, np.ndarray]] = []
+        for alist in lists:
+            entries, ids = _local_children(
+                alist, decisions, np.ones(m, dtype=bool)
+            )
+            winner_entries.append((entries, ids))
+            comm.perf.add_compute("split", len(entries))
 
-    for batch in node_batches:
-        rid_parts: list[np.ndarray] = []
-        id_parts: list[np.ndarray] = []
-        for alist, (entries, ids) in zip(lists, winner_entries):
-            if len(entries) == 0:
-                continue
-            if config.per_node_communication:
-                nodes = alist.entry_nodes()[entries]
-                sel = batch[nodes]
-                entries, ids = entries[sel], ids[sel]
-            rid_parts.append(alist.rids[entries])
-            id_parts.append(ids)
-        rids = np.concatenate(rid_parts) if rid_parts else \
-            np.empty(0, dtype=np.int64)
-        ids = np.concatenate(id_parts) if id_parts else \
-            np.empty(0, dtype=np.int64)
-        table.update(
-            rids, ids.astype(np.int32),
-            blocked=config.blocked_updates,
-            max_block=config.max_update_block,
-        )
-
-    comm.perf.add_phase_time(PERFORMSPLIT1, comm.perf.clock - split1_start)
+        for batch in node_batches:
+            rid_parts: list[np.ndarray] = []
+            id_parts: list[np.ndarray] = []
+            for alist, (entries, ids) in zip(lists, winner_entries):
+                if len(entries) == 0:
+                    continue
+                if config.per_node_communication:
+                    nodes = alist.entry_nodes()[entries]
+                    sel = batch[nodes]
+                    entries, ids = entries[sel], ids[sel]
+                rid_parts.append(alist.rids[entries])
+                id_parts.append(ids)
+            rids = np.concatenate(rid_parts) if rid_parts else \
+                np.empty(0, dtype=np.int64)
+            ids = np.concatenate(id_parts) if id_parts else \
+                np.empty(0, dtype=np.int64)
+            table.update(
+                rids, ids.astype(np.int32),
+                blocked=config.blocked_updates,
+                max_block=config.max_update_block,
+            )
 
     # --- PerformSplitII: split the other lists via enquiry ----------------
-    split2_start = comm.perf.clock
-    new_nodes_per_list: list[np.ndarray] = []
-    lookup_masks: list[np.ndarray] = []
-    for alist, (entries, ids) in zip(lists, winner_entries):
-        nodes = alist.entry_nodes()
-        new_nodes = np.full(alist.n_local, -1, dtype=np.int64)
-        if len(entries):
-            new_nodes[entries] = ids
-        # entries of splitting nodes whose winner is another attribute
-        need = decisions.splitting & (decisions.winner_attr != alist.attr_index)
-        new_nodes_per_list.append(new_nodes)
-        lookup_masks.append(need[nodes])
+    with timed_phase(comm, PERFORMSPLIT2):
+        new_nodes_per_list: list[np.ndarray] = []
+        lookup_masks: list[np.ndarray] = []
+        for alist, (entries, ids) in zip(lists, winner_entries):
+            nodes = alist.entry_nodes()
+            new_nodes = np.full(alist.n_local, -1, dtype=np.int64)
+            if len(entries):
+                new_nodes[entries] = ids
+            # entries of splitting nodes whose winner is another attribute
+            need = decisions.splitting \
+                & (decisions.winner_attr != alist.attr_index)
+            new_nodes_per_list.append(new_nodes)
+            lookup_masks.append(need[nodes])
 
-    if config.combined_enquiry:
-        # optimization: one enquiry covering every attribute's requests —
-        # identical bytes, a single all-to-all latency pair per level
-        all_rids = np.concatenate([
-            alist.rids[mask] for alist, mask in zip(lists, lookup_masks)
-        ]) if lists else np.empty(0, dtype=np.int64)
-        answers = table.lookup(all_rids).astype(np.int64)
-        offset = 0
-        for alist, mask, new_nodes in zip(lists, lookup_masks,
-                                          new_nodes_per_list):
-            count = int(mask.sum())
-            new_nodes[mask] = answers[offset:offset + count]
-            offset += count
-    else:
-        for alist, mask, new_nodes in zip(lists, lookup_masks,
-                                          new_nodes_per_list):
-            if config.per_node_communication:
-                nodes = alist.entry_nodes()
-                need = decisions.splitting & (
-                    decisions.winner_attr != alist.attr_index
-                )
-                for batch in node_batches:
-                    sub = (need & batch)[nodes]
-                    answers = table.lookup(alist.rids[sub])
-                    new_nodes[sub] = answers.astype(np.int64)
-            else:
-                answers = table.lookup(alist.rids[mask])
-                new_nodes[mask] = answers.astype(np.int64)
+        if config.combined_enquiry:
+            # optimization: one enquiry covering every attribute's requests —
+            # identical bytes, a single all-to-all latency pair per level
+            all_rids = np.concatenate([
+                alist.rids[mask] for alist, mask in zip(lists, lookup_masks)
+            ]) if lists else np.empty(0, dtype=np.int64)
+            answers = table.lookup(all_rids).astype(np.int64)
+            offset = 0
+            for alist, mask, new_nodes in zip(lists, lookup_masks,
+                                              new_nodes_per_list):
+                count = int(mask.sum())
+                new_nodes[mask] = answers[offset:offset + count]
+                offset += count
+        else:
+            for alist, mask, new_nodes in zip(lists, lookup_masks,
+                                              new_nodes_per_list):
+                if config.per_node_communication:
+                    nodes = alist.entry_nodes()
+                    need = decisions.splitting & (
+                        decisions.winner_attr != alist.attr_index
+                    )
+                    for batch in node_batches:
+                        sub = (need & batch)[nodes]
+                        answers = table.lookup(alist.rids[sub])
+                        new_nodes[sub] = answers.astype(np.int64)
+                else:
+                    answers = table.lookup(alist.rids[mask])
+                    new_nodes[mask] = answers.astype(np.int64)
 
-    for alist, new_nodes in zip(lists, new_nodes_per_list):
-        comm.perf.add_compute("split", alist.n_local)
-        alist.reorder(new_nodes, decisions.n_next)
-        comm.perf.register_bytes(
-            f"attr_list[{alist.spec.name}]", alist.nbytes()
-        )
-    comm.perf.add_phase_time(PERFORMSPLIT2, comm.perf.clock - split2_start)
+        for alist, new_nodes in zip(lists, new_nodes_per_list):
+            comm.perf.add_compute("split", alist.n_local)
+            alist.reorder(new_nodes, decisions.n_next)
+            comm.perf.register_bytes(
+                f"attr_list[{alist.spec.name}]", alist.nbytes()
+            )
 
 
 class SplitPhase:

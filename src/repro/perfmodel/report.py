@@ -69,6 +69,9 @@ class SimulatedRunStats:
     phase_seconds: dict = field(default_factory=dict)
     #: per-level (label, end_clock) marks from rank 0
     level_marks: tuple = ()
+    #: bytes moved per algorithm phase (sum over ranks; populated only on
+    #: traced runs — the collective-trace recorder feeds the trackers)
+    phase_bytes: dict = field(default_factory=dict)
 
     @classmethod
     def from_trackers(cls, machine: MachineSpec,
@@ -80,6 +83,7 @@ class SimulatedRunStats:
         coll_bytes: dict = {}
         units: dict = {}
         phases: dict = {}
+        phase_bytes: dict = {}
         for t in trackers:
             for k, v in t.collective_counts.items():
                 coll_counts[k] = coll_counts.get(k, 0) + v
@@ -89,6 +93,8 @@ class SimulatedRunStats:
                 units[k] = units.get(k, 0) + v
             for k, v in t.phase_seconds.items():
                 phases[k] = max(phases.get(k, 0.0), v)
+            for k, v in getattr(t, "phase_comm_bytes", {}).items():
+                phase_bytes[k] = phase_bytes.get(k, 0) + v
         mem = tuple(t.memory_watermark for t in trackers)
         return cls(
             machine_name=machine.name,
@@ -106,6 +112,7 @@ class SimulatedRunStats:
             compute_units=units,
             phase_seconds=phases,
             level_marks=tuple(trackers[0].level_marks),
+            phase_bytes=phase_bytes,
         )
 
     def level_durations(self) -> list[tuple[object, float]]:
@@ -129,4 +136,10 @@ class SimulatedRunStats:
             f"  memory/rank   : max {format_bytes(self.memory_per_rank_max)}",
             f"  collectives   : {dict(self.collective_counts)}",
         ]
+        if self.phase_bytes:
+            vol = ", ".join(
+                f"{k}={format_bytes(v)}"
+                for k, v in sorted(self.phase_bytes.items())
+            )
+            lines.append(f"  phase traffic : {vol}")
         return "\n".join(lines)

@@ -51,6 +51,7 @@ class RankTracker:
     collective_counts: Counter = field(default_factory=Counter)
     collective_bytes: Counter = field(default_factory=Counter)
     phase_seconds: Counter = field(default_factory=Counter)
+    phase_comm_bytes: Counter = field(default_factory=Counter)
 
     persistent_bytes: dict = field(default_factory=dict)
     _persistent_total: int = 0
@@ -75,6 +76,12 @@ class RankTracker:
         PerformSplitII buckets)."""
         if seconds > 0:
             self.phase_seconds[name] += seconds
+
+    def add_phase_comm(self, name: str, nbytes: int) -> None:
+        """Attribute communicated bytes to an algorithm phase (fed by the
+        collective-trace recorder when a run is traced)."""
+        if nbytes > 0:
+            self.phase_comm_bytes[name] += int(nbytes)
 
     # -- memory -----------------------------------------------------------
 
@@ -163,6 +170,7 @@ class RankTracker:
         self.comp_seconds = remote.comp_seconds
         self.compute_units = remote.compute_units
         self.phase_seconds = remote.phase_seconds
+        self.phase_comm_bytes = remote.phase_comm_bytes
         self.persistent_bytes = remote.persistent_bytes
         self._persistent_total = remote._persistent_total
         self.level_marks = remote.level_marks

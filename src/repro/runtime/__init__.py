@@ -50,6 +50,17 @@ from .errors import (
 from .payload import payload_nbytes
 from .reduction import ReduceOp, make_op
 from .thread_engine import CommObserver, ThreadCommunicator
+from .tracing import (
+    TraceCollector,
+    TraceConformanceError,
+    TraceEvent,
+    TraceRecorder,
+    check_traces,
+    format_trace_report,
+    last_trace_collector,
+    tag_level,
+    trace_enabled,
+)
 
 __all__ = [
     "ANY_TAG",
@@ -68,9 +79,16 @@ __all__ = [
     "SpmdError",
     "SpmdWorkerError",
     "ThreadCommunicator",
+    "TraceCollector",
+    "TraceConformanceError",
+    "TraceEvent",
+    "TraceRecorder",
     "WorkerCrashError",
     "available_backends",
+    "check_traces",
+    "format_trace_report",
     "get_engine",
+    "last_trace_collector",
     "make_op",
     "payload_nbytes",
     "reduction",
@@ -78,4 +96,6 @@ __all__ = [
     "resolve_backend",
     "resolve_timeout",
     "run_spmd",
+    "tag_level",
+    "trace_enabled",
 ]

@@ -8,14 +8,18 @@ blocking point-to-point, with numpy arrays as the preferred payload type
 
 Engines implement two primitives:
 
-* :meth:`Communicator._exchange` — a synchronous, order-checked rendezvous
-  of all ranks, with a combine function applied once per step; and
+* :meth:`Communicator._exchange_impl` — a synchronous, order-checked
+  rendezvous of all ranks, with a combine function applied once per step;
+  and
 * :meth:`Communicator.send` / :meth:`Communicator.recv` — blocking
   point-to-point.
 
 Everything else (bcast, gather, allgather(v), scatter, reduce, allreduce,
-scan, exscan, alltoall(v), barrier) is built here on top of ``_exchange``,
-so semantics and accounting are engine-independent.  Engines additionally
+scan, exscan, alltoall(v), barrier) is built here on top of
+:meth:`Communicator._exchange` — a thin wrapper over the engine primitive
+that also records collective-trace events when the job runs with tracing
+enabled (see :mod:`repro.runtime.tracing`) — so semantics, accounting and
+tracing are engine-independent.  Engines additionally
 provide ``_try_recv`` / ``_probe`` (non-blocking point-to-point probes),
 from which the nonblocking :class:`Request` API is derived here, and
 ``split`` (sub-communicators).
@@ -23,6 +27,7 @@ from which the nonblocking :class:`Request` API is derived here, and
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from typing import Any, Callable, Sequence
 
@@ -66,6 +71,9 @@ class NullPerf:
     def add_phase_time(self, name: str, seconds: float) -> None:
         """No-op (unpriced run)."""
 
+    def add_phase_comm(self, name: str, nbytes: int) -> None:
+        """No-op (unpriced run)."""
+
     #: NullPerf has no simulated clock; phase timers read this constant
     clock = 0.0
 
@@ -82,6 +90,12 @@ class Communicator(ABC):
     on all ranks instead of deadlocking.
     """
 
+    #: per-rank collective-trace recorder; attached by the engine when the
+    #: job runs with tracing enabled (see repro.runtime.tracing).  Like the
+    #: performance observer, tracing covers the world communicator only —
+    #: sub-communicators from split() do not inherit the recorder.
+    _tracer: Any | None = None
+
     def __init__(self, rank: int, size: int, perf: Any | None = None):
         if size <= 0:
             raise ValueError(f"communicator size must be positive, got {size}")
@@ -97,7 +111,7 @@ class Communicator(ABC):
     # ------------------------------------------------------------------
 
     @abstractmethod
-    def _exchange(
+    def _exchange_impl(
         self,
         op: str,
         payload: Any,
@@ -107,6 +121,28 @@ class Communicator(ABC):
         """Rendezvous all ranks; ``combine(contributions)`` runs exactly once
         per step (on the last arriving rank) and returns the per-rank result
         list.  Returns this rank's entry."""
+
+    def _exchange(
+        self,
+        op: str,
+        payload: Any,
+        combine: Callable[[list], list],
+        comm_bytes: _BytesFn | None = None,
+    ) -> Any:
+        """Engine-independent collective front door: dispatches to the
+        engine's :meth:`_exchange_impl` and, when this rank carries a
+        trace recorder, records one event per completed collective.  A
+        collective that aborts records nothing — the truncation is the
+        evidence the conformance checker reports."""
+        tracer = self._tracer
+        if tracer is None:
+            return self._exchange_impl(op, payload, combine, comm_bytes)
+        clock = self.perf.clock
+        start = time.perf_counter()
+        result = self._exchange_impl(op, payload, combine, comm_bytes)
+        tracer.record(op, payload, result,
+                      time.perf_counter() - start, clock, self.perf)
+        return result
 
     @abstractmethod
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:

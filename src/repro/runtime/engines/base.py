@@ -111,10 +111,20 @@ class SpmdEngine(ABC):
         observer: Any | None = None,
         rank_perf: Sequence[Any] | None = None,
         timeout: float | None = None,
+        trace: Any | None = None,
     ) -> list:
         """Execute ``worker(comm, *args, **kwargs)`` on ``size`` ranks and
         return the per-rank results in rank order; raise
-        :class:`~repro.runtime.errors.SpmdWorkerError` if any rank failed."""
+        :class:`~repro.runtime.errors.SpmdWorkerError` if any rank failed.
+
+        ``trace`` is an optional
+        :class:`~repro.runtime.tracing.TraceCollector`: the engine must
+        call ``trace.begin(size, backend=...)`` before ranks start, attach
+        a :class:`~repro.runtime.tracing.TraceRecorder` as each world
+        communicator's ``_tracer``, and ``trace.deliver(rank, events)``
+        every rank's events after the job — including failed jobs, so
+        partial traces survive aborts.  A rank that died without handing
+        anything over is simply never delivered."""
 
 
 _FACTORIES: dict[str, Callable[[], SpmdEngine]] = {}
@@ -167,6 +177,7 @@ def run_spmd(
     rank_perf: Sequence[Any] | None = None,
     backend: str | None = None,
     timeout: float | None = None,
+    trace: Any | None = None,
 ) -> list:
     """Run ``worker(comm, *args, **kwargs)`` on ``size`` logical ranks.
 
@@ -194,6 +205,17 @@ def run_spmd(
         Seconds a rank may wait inside one communication call before the
         job aborts; ``None`` defers to ``REPRO_SPMD_TIMEOUT``, then 120.
         Ignored by engines with structural deadlock detection.
+    trace:
+        Collective-trace control.  A
+        :class:`~repro.runtime.tracing.TraceCollector` records every
+        rank's collective calls into it (the caller checks/reports);
+        ``True`` makes a fresh collector, retrievable afterwards via
+        :func:`~repro.runtime.tracing.last_trace_collector`; ``None``
+        defers to the ``REPRO_SPMD_TRACE`` environment variable, under
+        which the runtime additionally conformance-checks the finished
+        job itself and raises
+        :class:`~repro.runtime.tracing.TraceConformanceError` on
+        divergence.
 
     Returns
     -------
@@ -210,8 +232,14 @@ def run_spmd(
         raise ValueError(f"size must be positive, got {size}")
     if rank_perf is not None and len(rank_perf) != size:
         raise ValueError("rank_perf must supply one tracker per rank")
-    return get_engine(backend).run(
+    from ..tracing import resolve_trace
+    collector, auto_check = resolve_trace(trace)
+    results = get_engine(backend).run(
         size, worker, args, kwargs,
         observer=observer, rank_perf=rank_perf,
         timeout=resolve_timeout(timeout),
+        trace=collector,
     )
+    if auto_check and collector is not None:
+        collector.check().raise_if_failed()
+    return results

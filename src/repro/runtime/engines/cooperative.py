@@ -40,6 +40,7 @@ from ..errors import (
     SpmdWorkerError,
 )
 from ..payload import payload_nbytes
+from ..tracing import TraceRecorder
 from .base import SpmdEngine
 
 __all__ = ["CooperativeEngine", "CooperativeCommunicator"]
@@ -238,7 +239,7 @@ class CooperativeCommunicator(Communicator):
         if check_group and self._group.error is not None:
             raise self._group.error
 
-    def _exchange(self, op, payload, combine, comm_bytes=None):
+    def _exchange_impl(self, op, payload, combine, comm_bytes=None):
         sched, grp = self._sched, self._group
         self._check_errors()
         if grp.arrived == 0:
@@ -392,6 +393,7 @@ class CooperativeEngine(SpmdEngine):
         observer: Any | None = None,
         rank_perf: Sequence[Any] | None = None,
         timeout: float | None = None,   # unused: deadlocks are structural
+        trace: Any | None = None,
     ) -> list:
         if size <= 0:
             raise ValueError(f"size must be positive, got {size}")
@@ -407,7 +409,16 @@ class CooperativeEngine(SpmdEngine):
             )
             for r in range(size)
         ]
+        recorders: list[TraceRecorder] | None = None
+        if trace is not None:
+            trace.begin(size, backend="cooperative")
+            recorders = [TraceRecorder(r, size) for r in range(size)]
+            for comm, rec in zip(comms, recorders):
+                comm._tracer = rec
         sched.run(worker, args, kwargs, comms)
+        if recorders is not None:
+            for rank, rec in enumerate(recorders):
+                trace.deliver(rank, rec.events)
 
         if sched.failures:
             roots = {

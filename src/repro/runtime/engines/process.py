@@ -56,6 +56,7 @@ from ..errors import (
     WorkerCrashError,
 )
 from ..payload import payload_nbytes
+from ..tracing import TraceRecorder
 from .base import SpmdEngine, resolve_timeout
 
 __all__ = ["ProcessEngine", "ProcessCommunicator"]
@@ -155,7 +156,7 @@ class ProcessCommunicator(Communicator):
 
     # -- engine primitives ---------------------------------------------
 
-    def _exchange(self, op, payload, combine, comm_bytes=None):
+    def _exchange_impl(self, op, payload, combine, comm_bytes=None):
         return self._request(
             ("coll", self._ctx, op, payload, self._cstate()),
             combine=combine, comm_bytes=comm_bytes,
@@ -197,42 +198,52 @@ class ProcessCommunicator(Communicator):
 
 
 def _child_main(conn: Any, rank: int, size: int, worker: Callable,
-                args: tuple, kwargs: dict, perf: Any | None) -> None:
+                args: tuple, kwargs: dict, perf: Any | None,
+                trace_on: bool = False) -> None:
     comm = ProcessCommunicator(conn, _ROOT_CTX, rank, size, perf=perf)
+    recorder = None
+    if trace_on:
+        recorder = TraceRecorder(rank, size)
+        comm._tracer = recorder
+    # traces ride home on the final protocol message, whatever its kind,
+    # so a worker abort still delivers the events recorded before it
+    events = recorder.events if recorder is not None else None
     try:
         result = worker(comm, *args, **kwargs)
     except CollectiveAbortedError as exc:
         conn.send(("aborted", str(exc), exc.origin_rank,
-                   traceback.format_exc(), perf))
+                   traceback.format_exc(), perf, events))
     except BaseException as exc:
         try:
             blob = pickle.dumps(exc)
         except Exception:
             blob = None
         conn.send(("error", f"{type(exc).__name__}: {exc}",
-                   traceback.format_exc(), blob, perf))
+                   traceback.format_exc(), blob, perf, events))
     else:
         try:
-            conn.send(("done", result, perf))
+            conn.send(("done", result, perf, events))
         except Exception as exc:      # unpicklable worker result
             conn.send(("error",
                        f"worker result not transferable: "
                        f"{type(exc).__name__}: {exc}",
-                       traceback.format_exc(), None, perf))
+                       traceback.format_exc(), None, perf, events))
     finally:
         conn.close()
 
 
 def _child_main_fork(child_ends: list, parent_ends: list, rank: int,
                      size: int, worker: Callable, args: tuple,
-                     kwargs: dict, perf: Any | None) -> None:
+                     kwargs: dict, perf: Any | None,
+                     trace_on: bool = False) -> None:
     # under fork every child inherits every pipe end; close all but ours so
     # the router sees EOF promptly when any single rank dies
     for r, (c, p) in enumerate(zip(child_ends, parent_ends)):
         p.close()
         if r != rank:
             c.close()
-    _child_main(child_ends[rank], rank, size, worker, args, kwargs, perf)
+    _child_main(child_ends[rank], rank, size, worker, args, kwargs, perf,
+                trace_on)
 
 
 # ----------------------------------------------------------------------
@@ -293,6 +304,7 @@ class _Router:
         self.pending: dict[int, _Pending] = {}
         self.alive: set[int] = set(range(size))
         self.results: list = [None] * size
+        self.traces: dict[int, list] = {}
         self.finished: set[int] = set()
         self.failures: dict[int, BaseException] = {}
         self.tracebacks: dict[int, str] = {}
@@ -525,19 +537,21 @@ class _Router:
         self.finished.add(rank)
         self.alive.discard(rank)
         self.pending.pop(rank, None)
+        if msg[-1] is not None:         # trace events ride the final message
+            self.traces[rank] = msg[-1]
         if kind == "done":
-            _, result, blob = msg
+            _, result, blob, _events = msg
             self.results[rank] = result
             self._merge_tracker(rank, blob)
         elif kind == "aborted":
-            _, message, origin, tb, blob = msg
+            _, message, origin, tb, blob, _events = msg
             self.failures[rank] = CollectiveAbortedError(
                 message, origin_rank=origin
             )
             self.tracebacks[rank] = tb
             self._merge_tracker(rank, blob)
         else:                           # "error"
-            _, message, tb, blob_exc, blob = msg
+            _, message, tb, blob_exc, blob, _events = msg
             exc: BaseException | None = None
             if blob_exc is not None:
                 try:
@@ -661,6 +675,7 @@ class ProcessEngine(SpmdEngine):
         observer: Any | None = None,
         rank_perf: Sequence[Any] | None = None,
         timeout: float | None = None,
+        trace: Any | None = None,
     ) -> list:
         if size <= 0:
             raise ValueError(f"size must be positive, got {size}")
@@ -668,6 +683,9 @@ class ProcessEngine(SpmdEngine):
             raise ValueError("rank_perf must supply one tracker per rank")
         kwargs = kwargs or {}
         timeout = resolve_timeout(timeout)
+        trace_on = trace is not None
+        if trace_on:
+            trace.begin(size, backend=self.name)
 
         ctx = _mp_context()
         fork = ctx.get_start_method() == "fork"
@@ -681,12 +699,12 @@ class ProcessEngine(SpmdEngine):
             if fork:
                 target, pargs = _child_main_fork, (
                     child_ends, parent_ends, rank, size,
-                    worker, tuple(args), kwargs, perf,
+                    worker, tuple(args), kwargs, perf, trace_on,
                 )
             else:
                 target, pargs = _child_main, (
                     child_ends[rank], rank, size,
-                    worker, tuple(args), kwargs, perf,
+                    worker, tuple(args), kwargs, perf, trace_on,
                 )
             procs.append(ctx.Process(
                 target=target, args=pargs,
@@ -709,6 +727,12 @@ class ProcessEngine(SpmdEngine):
                     p.join(timeout=1.0)
             for c in parent_ends:
                 c.close()
+
+        if trace_on:
+            # a hard-killed rank never sends its final message, so it is
+            # simply absent here — the checker reports the truncation
+            for rank, events in sorted(router.traces.items()):
+                trace.deliver(rank, events)
 
         if router.failures:
             roots = {

@@ -38,8 +38,10 @@ class ThreadEngine(SpmdEngine):
         observer: Any | None = None,
         rank_perf: Sequence[Any] | None = None,
         timeout: float | None = None,
+        trace: Any | None = None,
     ) -> list:
         return _thread_run_spmd(
             size, worker, args, kwargs,
             observer=observer, rank_perf=rank_perf, timeout=timeout,
+            trace=trace,
         )

@@ -33,6 +33,7 @@ from .errors import (
     SpmdWorkerError,
 )
 from .payload import payload_nbytes
+from .tracing import TraceRecorder
 
 __all__ = ["ThreadCommunicator", "CommObserver", "Request", "run_spmd"]
 
@@ -230,7 +231,7 @@ class ThreadCommunicator(Communicator):
         self._rendezvous = rendezvous
         self._mailboxes = mailboxes
 
-    def _exchange(self, op, payload, combine, comm_bytes=None):
+    def _exchange_impl(self, op, payload, combine, comm_bytes=None):
         return self._rendezvous.run(self.rank, op, payload, combine, comm_bytes)
 
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
@@ -300,6 +301,7 @@ def run_spmd(
     observer: CommObserver | None = None,
     rank_perf: Sequence[Any] | None = None,
     timeout: float | None = None,
+    trace: Any | None = None,
 ) -> list:
     """Run ``worker(comm, *args, **kwargs)`` on ``size`` logical ranks
     (thread backend; see :func:`repro.runtime.engines.run_spmd` for the
@@ -322,6 +324,10 @@ def run_spmd(
     timeout:
         Seconds a rank may wait inside one communication call before the
         job aborts; ``None`` defers to ``REPRO_SPMD_TIMEOUT``, then 120.
+    trace:
+        Optional :class:`~repro.runtime.tracing.TraceCollector`; when
+        given, every rank records its collective calls and the collector
+        receives the per-rank traces after the job (even on failure).
 
     Returns
     -------
@@ -346,10 +352,16 @@ def run_spmd(
     failures: dict[int, BaseException] = {}
     tracebacks: dict[int, str] = {}
     failures_lock = threading.Lock()
+    recorders: list[TraceRecorder] | None = None
+    if trace is not None:
+        trace.begin(size, backend="thread")
+        recorders = [TraceRecorder(r, size) for r in range(size)]
 
     def run_rank(rank: int) -> None:
         perf = rank_perf[rank] if rank_perf is not None else None
         comm = ThreadCommunicator(rank, size, rendezvous, mailboxes, perf=perf)
+        if recorders is not None:
+            comm._tracer = recorders[rank]
         try:
             results[rank] = worker(comm, *args, **kwargs)
         except CollectiveAbortedError as exc:
@@ -378,6 +390,10 @@ def run_spmd(
             t.start()
         for t in threads:
             t.join()
+
+    if recorders is not None:
+        for rank, rec in enumerate(recorders):
+            trace.deliver(rank, rec.events)
 
     if failures:
         # prefer reporting root causes over secondary CollectiveAbortedErrors

@@ -1,0 +1,72 @@
+"""Collective-trace recording and SPMD conformance checking.
+
+ScalParC's correctness hinges on every rank issuing the *same sequence*
+of collectives in lock-step per level (exscan in FindSplitI, the
+MINLOC-style best-split allreduce in FindSplitII, the all-to-alls of the
+parallel hashing paradigm in PerformSplitI).  This package provides the
+machine-checkable evidence:
+
+* :class:`TraceRecorder` — an opt-in per-rank recorder that captures one
+  structured :class:`TraceEvent` per collective call (op kind, reduce
+  operator, dtype/shape, payload and result digests, bytes moved,
+  wall/simulated time, and the phase/level tag supplied by the induction
+  loop);
+* :class:`TraceCollector` — gathers the per-rank traces after a job on
+  any engine backend, including partial traces from ranks that aborted;
+* :func:`check_traces` — the conformance checker: cross-validates the
+  per-rank traces and flags mismatched call sequences, operator / shape
+  divergence, digest divergence on ostensibly replicated results, and
+  ranks that fell out of lock-step, each with a distinct diagnostic code.
+
+Enable with ``run_spmd(..., trace=TraceCollector())``, the
+``REPRO_SPMD_TRACE=1`` environment variable (auto-checks every job and
+raises :class:`TraceConformanceError` on divergence), or the CLI's
+``--trace`` flag.  Tracing is off by default and costs a single
+``is None`` check per collective when disabled.
+
+Scope: like the performance observer, the trace covers the *world*
+communicator only — sub-communicators created by ``split`` are outside
+the conformance domain (the ``split`` call itself is recorded).
+"""
+
+from .checker import (
+    ConformanceReport,
+    Diagnostic,
+    TraceConformanceError,
+    check_traces,
+)
+from .events import (
+    REDUCE_KINDS,
+    REPLICATED_KINDS,
+    TRACE_ENV,
+    TraceEvent,
+    payload_digest,
+)
+from .recorder import (
+    TraceCollector,
+    TraceRecorder,
+    format_trace_report,
+    last_trace_collector,
+    resolve_trace,
+    tag_level,
+    trace_enabled,
+)
+
+__all__ = [
+    "ConformanceReport",
+    "Diagnostic",
+    "REDUCE_KINDS",
+    "REPLICATED_KINDS",
+    "TRACE_ENV",
+    "TraceCollector",
+    "TraceConformanceError",
+    "TraceEvent",
+    "TraceRecorder",
+    "check_traces",
+    "format_trace_report",
+    "last_trace_collector",
+    "payload_digest",
+    "resolve_trace",
+    "tag_level",
+    "trace_enabled",
+]

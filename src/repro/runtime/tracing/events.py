@@ -1,0 +1,188 @@
+"""The collective-trace event schema and payload digesting.
+
+One :class:`TraceEvent` is recorded per collective call per rank.  Fields
+fall into three conformance classes the checker treats differently:
+
+* **structural** — ``kind``, ``operator``, ``op`` (full metadata string,
+  which also carries the root rank): must match across all ranks at the
+  same step;
+* **typed** — ``dtype`` / ``shape`` of the rank's contribution: must
+  match across ranks for the elementwise reduce family
+  (:data:`REDUCE_KINDS`);
+* **content** — ``result_digest``: must match across ranks for
+  collectives whose result is replicated on every rank
+  (:data:`REPLICATED_KINDS`); ``payload_digest`` is per-rank context for
+  diagnostics and is never cross-checked (each rank legitimately
+  contributes different data).
+
+``wall_seconds`` (host time inside the engine primitive) and ``clock``
+(the simulated perf-model clock at entry) are observability fields and
+are excluded from conformance checking.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "REDUCE_KINDS",
+    "REPLICATED_KINDS",
+    "TRACE_ENV",
+    "TraceEvent",
+    "parse_op",
+    "payload_digest",
+]
+
+#: environment variable enabling tracing (and auto-conformance-checking)
+TRACE_ENV = "REPRO_SPMD_TRACE"
+
+#: collectives whose per-rank contributions are reduced elementwise and
+#: therefore must agree on dtype and shape across ranks
+REDUCE_KINDS = frozenset(
+    {"reduce", "allreduce", "scan", "exscan", "reduce_scatter"}
+)
+
+#: collectives whose result is replicated identically on every rank —
+#: digest divergence here means the "global" answer is not global
+REPLICATED_KINDS = frozenset(
+    {"bcast", "allgather", "allgatherv", "allreduce"}
+)
+
+
+def parse_op(op: str) -> tuple[str, str | None]:
+    """Split a collective's metadata string into ``(kind, operator)``.
+
+    ``"allreduce(op=SUM)"`` -> ``("allreduce", "SUM")``;
+    ``"barrier"`` -> ``("barrier", None)``.
+    """
+    head, sep, rest = op.partition("(")
+    if not sep:
+        return op, None
+    for param in rest.rstrip(")").split(","):
+        key, eq, value = param.partition("=")
+        if eq and key == "op":
+            return head, value
+    return head, None
+
+
+def _feed(h, obj) -> None:
+    """Stream a canonical, address-free encoding of *obj* into hasher *h*.
+
+    Must be deterministic across processes (never uses ``hash()`` or
+    ``id()``/``repr()`` of arbitrary objects), so digests computed inside
+    different worker processes are comparable.
+    """
+    if obj is None:
+        h.update(b"\x00N")
+    elif isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        h.update(b"\x00A")
+        h.update(str(arr.dtype).encode())
+        h.update(str(arr.shape).encode())
+        h.update(arr.tobytes())
+    elif isinstance(obj, np.generic):
+        h.update(b"\x00G")
+        h.update(str(obj.dtype).encode())
+        h.update(obj.tobytes())
+    elif isinstance(obj, bool):
+        h.update(b"\x00B1" if obj else b"\x00B0")
+    elif isinstance(obj, int):
+        h.update(b"\x00I")
+        h.update(str(obj).encode())
+    elif isinstance(obj, float):
+        h.update(b"\x00F")
+        h.update(struct.pack("<d", obj))
+    elif isinstance(obj, str):
+        h.update(b"\x00S")
+        h.update(obj.encode("utf-8", errors="replace"))
+    elif isinstance(obj, (bytes, bytearray, memoryview)):
+        h.update(b"\x00Y")
+        h.update(bytes(obj))
+    elif isinstance(obj, (list, tuple)):
+        h.update(b"\x00L")
+        h.update(str(len(obj)).encode())
+        for item in obj:
+            _feed(h, item)
+    elif isinstance(obj, (set, frozenset)):
+        h.update(b"\x00E")
+        # order-canonicalize via each element's own digest
+        for d in sorted(payload_digest(item) for item in obj):
+            h.update(d.encode())
+    elif isinstance(obj, dict):
+        h.update(b"\x00D")
+        keyed = sorted(
+            (payload_digest(k), k, v) for k, v in obj.items()
+        )
+        for _kd, k, v in keyed:
+            _feed(h, k)
+            _feed(h, v)
+    else:
+        # unknown object: type name plus its public attribute dict where
+        # available; never repr() (embeds memory addresses, which differ
+        # across worker processes for identical values)
+        h.update(b"\x00O")
+        h.update(type(obj).__qualname__.encode())
+        attrs = getattr(obj, "__dict__", None)
+        if attrs:
+            _feed(h, attrs)
+
+
+def payload_digest(obj) -> str:
+    """Short stable content digest of a message payload (hex)."""
+    h = hashlib.blake2b(digest_size=8)
+    _feed(h, obj)
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One collective call as seen by one rank."""
+
+    #: 0-based position in this rank's collective sequence
+    seq: int
+    #: op kind ("allreduce", "alltoallv", "barrier", "split", …)
+    kind: str
+    #: full metadata string as verified by the engine (includes root etc.)
+    op: str
+    #: reduce operator name (reductions only)
+    operator: str | None
+    #: dtype of this rank's contribution (numpy payloads only)
+    dtype: str | None
+    #: shape of this rank's contribution (numpy payloads only)
+    shape: tuple | None
+    #: content digest of this rank's contribution
+    payload_digest: str
+    #: bytes this rank contributed
+    payload_nbytes: int
+    #: content digest of this rank's result
+    result_digest: str
+    #: bytes this rank received back
+    result_nbytes: int
+    #: host seconds spent inside the engine primitive (incl. waiting)
+    wall_seconds: float
+    #: simulated perf-model clock at call entry (0.0 when unpriced)
+    clock: float
+    #: algorithm phase tag active at the call (set by the induction loop)
+    phase: str | None
+    #: tree level active at the call (set by the induction loop)
+    level: int | None
+
+    def describe(self) -> str:
+        """One-line human-readable rendering."""
+        where = ""
+        if self.phase is not None:
+            where = f" [{self.phase}" + (
+                f"/L{self.level}]" if self.level is not None else "]"
+            )
+        meta = ""
+        if self.shape is not None:
+            meta = f" {self.dtype}{list(self.shape)}"
+        return (
+            f"#{self.seq:<4d} {self.op:<28s}{meta}"
+            f" in={self.payload_nbytes}B out={self.result_nbytes}B"
+            f" result={self.result_digest}{where}"
+        )

@@ -1,7 +1,16 @@
 """Failure injection: a rank dying mid-induction must abort the whole job
-cleanly (no deadlock), and the engine must stay reusable afterwards."""
+cleanly (no deadlock), and the engine must stay reusable afterwards.
+
+The process backend adds a failure mode the in-process engines cannot
+have — a rank's OS process dying outright (``os._exit``), taking its
+pipe with it.  Those tests also exercise the trace layer's post-mortem
+value: the dead rank delivered no trace, so the conformance checker
+pins the truncation on it.
+"""
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
@@ -10,7 +19,13 @@ from repro.baselines import induce_serial
 from repro.core import InductionConfig, induce_worker
 from repro.core.splitter import ScalParCSplitPhase
 from repro.datagen import generate_quest
-from repro.runtime import CollectiveAbortedError, SpmdWorkerError, run_spmd
+from repro.runtime import (
+    CollectiveAbortedError,
+    SpmdWorkerError,
+    TraceCollector,
+    WorkerCrashError,
+    run_spmd,
+)
 
 
 class _DyingSplitPhase(ScalParCSplitPhase):
@@ -44,6 +59,59 @@ def test_rank_death_mid_induction_aborts_cleanly(dying_rank, level):
         run_spmd(4, worker)
     failure = excinfo.value.failures[dying_rank]
     assert isinstance(failure, OSError)
+
+
+@pytest.mark.parametrize("dying_rank", [0, 2])
+def test_rank_death_mid_induction_on_process_backend(dying_rank):
+    """The same mid-induction failure on real OS processes: the exception
+    crosses the process boundary and the job aborts, not hangs."""
+    ds = generate_quest(400, "F2", seed=1)
+
+    def worker(comm):
+        return induce_worker(
+            comm, ds, InductionConfig(),
+            split_phase=_DyingSplitPhase(dying_rank, at_level=0),
+        )
+
+    with pytest.raises(SpmdWorkerError) as excinfo:
+        run_spmd(4, worker, backend="process")
+    failure = excinfo.value.failures[dying_rank]
+    assert isinstance(failure, OSError)
+
+
+def _hard_exit_worker(comm):
+    """Rank 1's process dies outright after two collectives — no exception,
+    no abort protocol, no final message (module-level: fork/spawn safe)."""
+    from repro.runtime import reduction
+
+    total = comm.allreduce(np.int64(1), reduction.SUM)
+    comm.barrier()
+    if comm.rank == 1:
+        os._exit(13)
+    comm.allgather(int(total))
+    return int(total)
+
+
+def test_hard_process_death_truncates_trace():
+    """A hard-killed rank never delivers its trace; the checker's
+    truncated-sequence diagnostic names it as the likely casualty."""
+    collector = TraceCollector()
+    with pytest.raises(SpmdWorkerError) as excinfo:
+        run_spmd(3, _hard_exit_worker, backend="process",
+                 trace=collector, timeout=30.0)
+    assert isinstance(excinfo.value.failures[1], WorkerCrashError)
+
+    # survivors shipped their partial traces on their final messages
+    assert len(collector.events_of(0)) >= 2
+    assert len(collector.events_of(2)) >= 2
+    assert collector.events_of(1) == []
+
+    report = collector.check()
+    assert not report.ok
+    assert report.codes()[0] == "truncated-sequence"
+    diag = report.diagnostics[0]
+    assert diag.ranks == (1,)
+    assert "did the rank die?" in diag.message
 
 
 def test_death_during_blocked_update_rounds():

@@ -1,0 +1,80 @@
+"""Golden-tree regression fixtures.
+
+``tests/golden/`` holds the exact serialized trees of two seeded Quest
+workloads.  Unlike the differential suite (which compares implementations
+against each other and would not notice if *all* of them drifted
+together), these fixtures pin the induced trees across time: any change
+to the split criterion, tie-breaking, categorical layout or presort order
+shows up as a fixture mismatch.
+
+Regenerate deliberately after an intended behaviour change::
+
+    PYTHONPATH=src python tests/test_golden_trees.py --regenerate
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import InductionConfig, ScalParC
+from repro.datagen import generate_quest
+from repro.tree import from_dict, to_dict
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: fixture name -> (function, n_records, seed, config, n_processors)
+FIXTURES = {
+    "f2_n300_seed7_p4.json":
+        ("F2", 300, 7, InductionConfig(), 4),
+    "f5_n250_seed11_depth4_p3.json":
+        ("F5", 250, 11, InductionConfig(max_depth=4), 3),
+}
+
+
+def _induce(name: str):
+    fn, n, seed, config, procs = FIXTURES[name]
+    ds = generate_quest(n, fn, seed=seed)
+    return ScalParC(n_processors=procs, config=config,
+                    machine=None).fit(ds).tree
+
+
+@pytest.mark.parametrize("name", sorted(FIXTURES))
+def test_tree_matches_golden_fixture(name):
+    golden = json.loads((GOLDEN_DIR / name).read_text())
+    got = to_dict(_induce(name))
+    assert got == golden, (
+        f"induced tree diverged from golden fixture {name}; if the change "
+        f"is intentional, regenerate with "
+        f"`python tests/test_golden_trees.py --regenerate`"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(FIXTURES))
+def test_golden_fixture_round_trips(name):
+    """The stored dict is itself a loadable model (guards the fixture
+    format against silent from_dict/to_dict drift)."""
+    golden = json.loads((GOLDEN_DIR / name).read_text())
+    assert to_dict(from_dict(golden)) == golden
+
+
+def _regenerate() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name in sorted(FIXTURES):
+        path = GOLDEN_DIR / name
+        path.write_text(
+            json.dumps(to_dict(_induce(name)), indent=1, sort_keys=True)
+            + "\n"
+        )
+        print(f"{path} written")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)
