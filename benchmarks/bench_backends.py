@@ -97,4 +97,16 @@ def test_backend_comparison(benchmark):
                   f"p = {P_SWEEP} ranks, latency-bound)",
         )
     )
-    emit("backends", text)
+    emit("backends", text, data={
+        "n": N, "n_sweep": N_SWEEP,
+        "same_induction": [
+            {"backend": r[0], "p": r[1], "wall_s": float(r[2]),
+             "simulated_s": float(r[3]), "tree_nodes": r[4]}
+            for r in rows
+        ],
+        "sweep_regime": [
+            {"backend": r[0], "p": r[1], "wall_s": float(r[2]),
+             "simulated_s": float(r[3]), "tree_nodes": r[4]}
+            for r in sweep_rows
+        ],
+    })

@@ -10,10 +10,15 @@ multiplier, default 1.0) to enlarge every workload, e.g.::
 Each bench prints its figure/table reproduction through :func:`emit`,
 which writes both to the real stdout (visible under pytest capture and in
 ``tee`` logs) and to ``benchmarks/results/<name>.txt`` for EXPERIMENTS.md.
+Every emit also persists a machine-readable ``<name>.json`` next to the
+``.txt`` — pass structured rows via ``data=`` to make them queryable; the
+human-readable text is always included so the JSON alone is
+self-describing.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 from pathlib import Path
@@ -40,13 +45,25 @@ def dataset_factory(n: int):
     return paper_dataset(n, "F2", seed=1)
 
 
-def emit(name: str, text: str) -> None:
-    """Print a result block to the real stdout and persist it."""
+def emit(name: str, text: str, data: object = None) -> None:
+    """Print a result block to the real stdout and persist it as both
+    ``<name>.txt`` (human-readable) and ``<name>.json`` (machine-readable;
+    ``data`` carries the structured rows, when the bench provides them)."""
     banner = f"\n===== {name} =====\n{text}\n"
     sys.__stdout__.write(banner)
     sys.__stdout__.flush()
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    record = {
+        "bench": name,
+        "scale": SCALE,
+        "host_cores": os.cpu_count(),
+        "data": data,
+        "text": text,
+    }
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(record, indent=2, default=str) + "\n"
+    )
 
 
 @pytest.fixture(scope="session")

@@ -51,6 +51,7 @@ class LocalAttributeList:
             raise ValueError("attribute list arrays must be entry-aligned")
         if self.offsets[0] != 0 or self.offsets[-1] != n:
             raise ValueError("offsets must span exactly the local entries")
+        self._entry_nodes_cache: np.ndarray | None = None
 
     @property
     def n_local(self) -> int:
@@ -65,11 +66,21 @@ class LocalAttributeList:
         return slice(int(self.offsets[k]), int(self.offsets[k + 1]))
 
     def entry_nodes(self) -> np.ndarray:
-        """Active-node index of every local entry (int64, length n_local)."""
-        return np.repeat(
-            np.arange(self.n_segments, dtype=np.int64),
-            np.diff(self.offsets),
-        )
+        """Active-node index of every local entry (int64, length n_local).
+
+        Cached between :meth:`reorder` calls — FindSplit asks for this
+        array many times per attribute per level and the ``np.repeat``
+        expansion is O(n_local) each time.  The cache is read-only;
+        callers needing a private copy must copy explicitly.
+        """
+        if self._entry_nodes_cache is None:
+            nodes = np.repeat(
+                np.arange(self.n_segments, dtype=np.int64),
+                np.diff(self.offsets),
+            )
+            nodes.setflags(write=False)
+            self._entry_nodes_cache = nodes
+        return self._entry_nodes_cache
 
     def nbytes(self) -> int:
         """Live bytes of this fragment (for the memory model)."""
@@ -95,6 +106,7 @@ class LocalAttributeList:
         self.offsets = np.concatenate(
             ([0], np.cumsum(counts, dtype=np.int64))
         )
+        self._entry_nodes_cache = None
 
 
 def build_local_lists(

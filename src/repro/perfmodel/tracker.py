@@ -53,6 +53,15 @@ class RankTracker:
     phase_seconds: Counter = field(default_factory=Counter)
     phase_comm_bytes: Counter = field(default_factory=Counter)
 
+    # actual transport accounting (measured, not simulated): bytes this
+    # rank really serialized onto an engine transport vs. bytes that moved
+    # through shared-memory segments instead of being copied.  Zero on
+    # backends with no physical transport (thread/cooperative share a heap).
+    transport_pickled_bytes: int = 0
+    transport_shared_bytes: int = 0
+    phase_pickled_bytes: Counter = field(default_factory=Counter)
+    phase_shared_bytes: Counter = field(default_factory=Counter)
+
     persistent_bytes: dict = field(default_factory=dict)
     _persistent_total: int = 0
     memory_watermark: int = 0
@@ -82,6 +91,20 @@ class RankTracker:
         collective-trace recorder when a run is traced)."""
         if nbytes > 0:
             self.phase_comm_bytes[name] += int(nbytes)
+
+    def add_transport(self, pickled: int, shared: int,
+                      phase: str | None = None) -> None:
+        """Record *actual* transport traffic (engine callback): bytes
+        serialized onto a pipe vs. bytes moved via shared memory.  This is
+        measurement, not simulation — it never touches the clock."""
+        if pickled > 0:
+            self.transport_pickled_bytes += int(pickled)
+            if phase:
+                self.phase_pickled_bytes[phase] += int(pickled)
+        if shared > 0:
+            self.transport_shared_bytes += int(shared)
+            if phase:
+                self.phase_shared_bytes[phase] += int(shared)
 
     # -- memory -----------------------------------------------------------
 
@@ -171,6 +194,12 @@ class RankTracker:
         self.compute_units = remote.compute_units
         self.phase_seconds = remote.phase_seconds
         self.phase_comm_bytes = remote.phase_comm_bytes
+        # transport is measured inside the rank process (it is the one
+        # doing the pickling), so the worker copy is authoritative
+        self.transport_pickled_bytes = remote.transport_pickled_bytes
+        self.transport_shared_bytes = remote.transport_shared_bytes
+        self.phase_pickled_bytes = remote.phase_pickled_bytes
+        self.phase_shared_bytes = remote.phase_shared_bytes
         self.persistent_bytes = remote.persistent_bytes
         self._persistent_total = remote._persistent_total
         self.level_marks = remote.level_marks

@@ -47,8 +47,18 @@ from .errors import (
     SpmdWorkerError,
     WorkerCrashError,
 )
-from .payload import payload_nbytes
+from .payload import payload_logical_nbytes, payload_nbytes
 from .reduction import ReduceOp, make_op
+from .shm import (
+    DEFAULT_SHM_THRESHOLD,
+    SHM_THRESHOLD_ENV,
+    ShmAttachCache,
+    ShmDescriptor,
+    ShmPool,
+    decode_payload,
+    encode_payload,
+    resolve_shm_threshold,
+)
 from .thread_engine import CommObserver, ThreadCommunicator
 from .tracing import (
     TraceCollector,
@@ -69,10 +79,15 @@ __all__ = [
     "CommObserver",
     "Communicator",
     "DEFAULT_BACKEND",
+    "DEFAULT_SHM_THRESHOLD",
     "DEFAULT_TIMEOUT",
     "InvalidRankError",
     "NullPerf",
     "ReduceOp",
+    "SHM_THRESHOLD_ENV",
+    "ShmAttachCache",
+    "ShmDescriptor",
+    "ShmPool",
     "RemoteTraceback",
     "Request",
     "SpmdEngine",
@@ -86,14 +101,18 @@ __all__ = [
     "WorkerCrashError",
     "available_backends",
     "check_traces",
+    "decode_payload",
+    "encode_payload",
     "format_trace_report",
     "get_engine",
     "last_trace_collector",
     "make_op",
+    "payload_logical_nbytes",
     "payload_nbytes",
     "reduction",
     "register_engine",
     "resolve_backend",
+    "resolve_shm_threshold",
     "resolve_timeout",
     "run_spmd",
     "tag_level",

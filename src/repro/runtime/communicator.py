@@ -71,6 +71,10 @@ class NullPerf:
     def add_phase_time(self, name: str, seconds: float) -> None:
         """No-op (unpriced run)."""
 
+    def add_transport(self, pickled: int, shared: int,
+                      phase: str | None = None) -> None:
+        """No-op (unpriced run)."""
+
     def add_phase_comm(self, name: str, nbytes: int) -> None:
         """No-op (unpriced run)."""
 

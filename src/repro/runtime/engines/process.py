@@ -21,6 +21,21 @@ read — abort notifications included, which are delivered as the reply to
 each rank's pending or next request, never unsolicited.  Hence the two
 sides are never blocked writing to each other simultaneously.
 
+Shared-memory data plane (see :mod:`repro.runtime.shm`): numpy payloads
+at or above ``REPRO_SPMD_SHM_THRESHOLD`` bytes do not travel through the
+pipes at all.  The sending child copies the array once into a pooled
+``multiprocessing.shared_memory`` segment and ships a tiny descriptor;
+the combiner maps the segment and reads in place; receivers materialize
+one private copy.  Lease recycling is piggybacked on the existing
+protocol: the combiner reports consumed contribution leases on its
+``combined`` message (so each contributor's very next ``result`` reply
+already carries its reclaimed token), and receivers report consumed
+result/ptp leases lazily ahead of their next request (``shm_free``).
+Children announce newly created segments (``shm_new``) so the router can
+guarantee cleanup: owners only ever *close* their mappings — the parent
+unlinks every announced segment when the job ends, normally or not,
+which covers aborts and hard-killed ranks.
+
 Perf-model fidelity: compute time is burned inside the children, comm
 time is priced by the observer inside the router, and the simulated
 clock must interleave both.  Children piggyback
@@ -29,14 +44,21 @@ router-side ``tracker.comm_state()`` carried by every reply; on exit
 each child ships its whole tracker home and the router calls
 ``tracker.merge_remote``.  All hooks are duck-typed, so custom ``perf``
 objects without them degrade gracefully (they simply stay child-local).
+The router prices point-to-point deliveries by *logical* payload size
+(:func:`~repro.runtime.payload.payload_logical_nbytes`), so the modeled
+clock is bit-identical with the data plane on or off; the trackers'
+``add_transport`` hook separately records the *actual* pickled
+pipe bytes versus shared-segment bytes each rank moved.
 
 Start method: ``fork`` where available (workers and closures need no
 pickling), overridable via ``REPRO_SPMD_START_METHOD``.  Under ``spawn``
-the worker, its arguments and its return value must be picklable.
+the worker, its arguments and its return value must be picklable; the
+data plane itself is start-method-agnostic (attach is by name).
 """
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import multiprocessing.connection
 import os
@@ -44,6 +66,7 @@ import pickle
 import time
 import traceback
 from collections import deque
+from multiprocessing.reduction import ForkingPickler
 from typing import Any, Callable, Sequence
 
 from ..communicator import ANY_TAG, Communicator
@@ -55,7 +78,15 @@ from ..errors import (
     SpmdWorkerError,
     WorkerCrashError,
 )
-from ..payload import payload_nbytes
+from ..payload import payload_logical_nbytes
+from ..shm import (
+    ShmAttachCache,
+    ShmPool,
+    decode_payload,
+    encode_payload,
+    resolve_shm_threshold,
+    unlink_segment,
+)
 from ..tracing import TraceRecorder
 from .base import SpmdEngine, resolve_timeout
 
@@ -69,6 +100,9 @@ START_METHOD_ENV = "REPRO_SPMD_START_METHOD"
 _ABORT_GRACE = 10.0
 
 _ROOT_CTX = 0
+
+#: per-parent job counter, part of the shm segment name prefix
+_JOB_SEQ = itertools.count()
 
 
 def _mp_context() -> multiprocessing.context.BaseContext:
@@ -86,14 +120,50 @@ def _mp_context() -> multiprocessing.context.BaseContext:
 # ----------------------------------------------------------------------
 
 
+class _ShmState:
+    """One rank process's data-plane state, shared by the world
+    communicator and every sub-communicator split from it."""
+
+    __slots__ = ("owner", "prefix", "threshold", "pool", "cache",
+                 "pending_free")
+
+    def __init__(self, owner: int, prefix: str, threshold: int):
+        self.owner = owner
+        self.prefix = prefix
+        self.threshold = threshold
+        self.pool: ShmPool | None = None          # lazy: first large payload
+        self.cache: ShmAttachCache | None = None  # lazy: first descriptor read
+        #: (owner, token) leases of *other* ranks consumed since the last
+        #: request — shipped ahead of the next request as ``shm_free``
+        self.pending_free: list[tuple[int, int]] = []
+
+    def get_pool(self) -> ShmPool:
+        if self.pool is None:
+            self.pool = ShmPool(self.owner, self.prefix)
+        return self.pool
+
+    def get_cache(self) -> ShmAttachCache:
+        if self.cache is None:
+            self.cache = ShmAttachCache()
+        return self.cache
+
+    def shutdown(self) -> None:
+        """Close mappings (never unlink — the engine parent does that)."""
+        if self.cache is not None:
+            self.cache.close()
+        if self.pool is not None:
+            self.pool.close()
+
+
 class ProcessCommunicator(Communicator):
     """Child-side communicator: one duplex pipe to the router."""
 
     def __init__(self, conn: Any, ctx: int, rank: int, size: int,
-                 perf: Any | None = None):
+                 perf: Any | None = None, shm: _ShmState | None = None):
         super().__init__(rank, size, perf=perf)
         self._conn = conn
         self._ctx = ctx
+        self._shm = shm
 
     # -- clock synchronisation with the router -------------------------
 
@@ -107,22 +177,124 @@ class ProcessCommunicator(Communicator):
             if fn is not None:
                 fn(state)
 
+    # -- transport accounting + framed pipe IO -------------------------
+
+    def _count_transport(self, pickled: int, shared: int) -> None:
+        fn = getattr(self.perf, "add_transport", None)
+        if fn is not None:
+            tracer = self._tracer
+            fn(pickled, shared,
+               phase=tracer.phase if tracer is not None else None)
+
+    def _raw_send(self, msg: tuple) -> None:
+        # explicit dumps + send_bytes (what Connection.send does inside)
+        # so the serialized volume is measured exactly, for free
+        buf = ForkingPickler.dumps(msg)
+        self._count_transport(len(buf), 0)
+        self._conn.send_bytes(buf)
+
+    def _recv_msg(self) -> tuple:
+        buf = self._conn.recv_bytes()
+        self._count_transport(len(buf), 0)
+        return pickle.loads(buf)
+
+    def _send_msg(self, msg: tuple) -> None:
+        """Send one request, preceded by any pending data-plane control
+        notices (fire-and-forget, so the pipe discipline is preserved)."""
+        shm = self._shm
+        if shm is not None:
+            if shm.pool is not None:
+                created = shm.pool.drain_created()
+                if created:
+                    self._raw_send(("shm_new", created))
+            if shm.pending_free:
+                freed, shm.pending_free = shm.pending_free, []
+                self._raw_send(("shm_free", freed))
+        self._raw_send(msg)
+
+    # -- data plane -----------------------------------------------------
+
+    def _encode(self, payload: Any) -> Any:
+        """Swap large arrays for shared-segment descriptors (no-op when
+        the data plane is off)."""
+        shm = self._shm
+        if shm is None:
+            return payload
+        shared = [0]
+
+        def on_place(desc):
+            shared[0] += desc.nbytes
+
+        enc = encode_payload(payload, shm.get_pool(), shm.threshold,
+                             on_place)
+        if shared[0]:
+            self._count_transport(0, shared[0])
+        return enc
+
+    def _decode(self, obj: Any, *, copy: bool,
+                consumed: list | None = None) -> Any:
+        """Materialize descriptors.  With ``consumed=None`` the leases are
+        settled immediately (the result/ptp path); otherwise the raw
+        descriptors are collected for the caller to settle once it is
+        really done with the data (the combiner path)."""
+        shm = self._shm
+        if shm is None:
+            return obj
+        settle = consumed is None
+        if settle:
+            consumed = []
+        out = decode_payload(obj, shm.get_cache(), copy=copy,
+                             consumed=consumed)
+        if settle and consumed:
+            shm.pending_free.extend(self._settle_consumed(consumed))
+        return out
+
+    def _settle_consumed(self, consumed: list) -> list[tuple[int, int]]:
+        """Account consumed descriptors and route their lease releases:
+        own leases go straight back to the pool, foreign ones are
+        returned for the router to credit to their owners."""
+        shm = self._shm
+        shared = 0
+        freed: list[tuple[int, int]] = []
+        for desc in consumed:
+            shared += desc.nbytes
+            if desc.owner == shm.owner:
+                shm.get_pool().release((desc.token,))
+            else:
+                freed.append((desc.owner, desc.token))
+        if shared:
+            self._count_transport(0, shared)
+        return freed
+
+    def _shm_reclaim(self, tokens) -> None:
+        """Apply a reply's piggybacked lease reclamations."""
+        if tokens and self._shm is not None and self._shm.pool is not None:
+            self._shm.pool.release(tokens)
+
     # -- request/reply core --------------------------------------------
 
     def _request(self, msg: tuple, combine: Callable | None = None,
                  comm_bytes: Callable | None = None) -> Any:
-        self._conn.send(msg)
+        self._send_msg(msg)
         while True:
-            reply = self._conn.recv()
+            reply = self._recv_msg()
             kind = reply[0]
             if kind == "result":
-                _, value, comm_state = reply
+                _, value, comm_state, reclaim = reply
                 self._apply_comm(comm_state)
-                return value
+                self._shm_reclaim(reclaim)
+                # leases consumed here are settled by _decode (via
+                # _settle_consumed): own tokens return to the pool at
+                # once, foreign ones ride ahead of the next request
+                return self._decode(value, copy=True)
             if kind == "combine":
                 # this rank is the group's combiner for the current step
-                contribs = reply[1]
+                _, enc_contribs, reclaim = reply
+                self._shm_reclaim(reclaim)
+                consumed: list = []
                 try:
+                    contribs = self._decode(enc_contribs, copy=False,
+                                            consumed=consumed)
                     results = combine(contribs)
                     if len(results) != self.size:
                         raise AssertionError(
@@ -133,15 +305,22 @@ class ProcessCommunicator(Communicator):
                         sent, recv = comm_bytes(contribs)
                     else:
                         sent = recv = [0] * self.size
+                    enc_results = [self._encode(r) for r in results]
                 except BaseException as exc:
-                    self._conn.send((
+                    self._send_msg((
                         "combine_error", self._ctx,
                         f"{type(exc).__name__}: {exc}",
                         traceback.format_exc(),
                     ))
                     raise
-                self._conn.send((
-                    "combined", self._ctx, results, list(sent), list(recv),
+                # contribution views are fully copied out by _encode, so
+                # the leases can be settled now; foreign tokens ride the
+                # combined message and reach each owner on the very
+                # result reply that ends its step
+                freed = self._settle_consumed(consumed)
+                self._send_msg((
+                    "combined", self._ctx, enc_results, list(sent),
+                    list(recv), freed,
                 ))
                 continue
             if kind == "mismatch":
@@ -158,7 +337,7 @@ class ProcessCommunicator(Communicator):
 
     def _exchange_impl(self, op, payload, combine, comm_bytes=None):
         return self._request(
-            ("coll", self._ctx, op, payload, self._cstate()),
+            ("coll", self._ctx, op, self._encode(payload), self._cstate()),
             combine=combine, comm_bytes=comm_bytes,
         )
 
@@ -166,7 +345,8 @@ class ProcessCommunicator(Communicator):
         if not 0 <= dest < self.size:
             raise InvalidRankError(f"dest {dest} outside [0, {self.size})")
         # fire-and-forget: buffered send, no reply expected
-        self._conn.send(("send", self._ctx, dest, tag, obj, self._cstate()))
+        self._send_msg(("send", self._ctx, dest, tag, self._encode(obj),
+                        self._cstate()))
 
     def recv(self, source: int, tag: int = 0) -> Any:
         if not 0 <= source < self.size:
@@ -194,13 +374,16 @@ class ProcessCommunicator(Communicator):
             return None
         new_ctx, new_rank, new_size = plan
         return ProcessCommunicator(self._conn, new_ctx, new_rank, new_size,
-                                   perf=self.perf)
+                                   perf=self.perf, shm=self._shm)
 
 
 def _child_main(conn: Any, rank: int, size: int, worker: Callable,
                 args: tuple, kwargs: dict, perf: Any | None,
-                trace_on: bool = False) -> None:
-    comm = ProcessCommunicator(conn, _ROOT_CTX, rank, size, perf=perf)
+                trace_on: bool = False,
+                shm_cfg: tuple[str, int] | None = None) -> None:
+    shm = _ShmState(rank, shm_cfg[0], shm_cfg[1]) if shm_cfg else None
+    comm = ProcessCommunicator(conn, _ROOT_CTX, rank, size, perf=perf,
+                               shm=shm)
     recorder = None
     if trace_on:
         recorder = TraceRecorder(rank, size)
@@ -229,13 +412,16 @@ def _child_main(conn: Any, rank: int, size: int, worker: Callable,
                        f"{type(exc).__name__}: {exc}",
                        traceback.format_exc(), None, perf, events))
     finally:
+        if shm is not None:
+            shm.shutdown()
         conn.close()
 
 
 def _child_main_fork(child_ends: list, parent_ends: list, rank: int,
                      size: int, worker: Callable, args: tuple,
                      kwargs: dict, perf: Any | None,
-                     trace_on: bool = False) -> None:
+                     trace_on: bool = False,
+                     shm_cfg: tuple[str, int] | None = None) -> None:
     # under fork every child inherits every pipe end; close all but ours so
     # the router sees EOF promptly when any single rank dies
     for r, (c, p) in enumerate(zip(child_ends, parent_ends)):
@@ -243,7 +429,7 @@ def _child_main_fork(child_ends: list, parent_ends: list, rank: int,
         if r != rank:
             c.close()
     _child_main(child_ends[rank], rank, size, worker, args, kwargs, perf,
-                trace_on)
+                trace_on, shm_cfg)
 
 
 # ----------------------------------------------------------------------
@@ -311,6 +497,12 @@ class _Router:
         self.error: CollectiveAbortedError | None = None
         self.error_tb: str = ""
         self.kill_deadline: float | None = None
+        #: shm segments announced by each rank (rank -> names); the parent
+        #: unlinks every one of these when the job ends
+        self.shm_owned: dict[int, set[str]] = {}
+        #: lease tokens consumed by peers, awaiting piggyback delivery to
+        #: their owner on its next reply
+        self.shm_reclaim: dict[int, list[int]] = {}
 
     # -- tracker plumbing ----------------------------------------------
 
@@ -341,9 +533,13 @@ class _Router:
         except (OSError, ValueError):
             pass                        # child already gone; EOF handles it
 
+    def _take_reclaim(self, rank: int) -> list[int]:
+        return self.shm_reclaim.pop(rank, [])
+
     def _reply_result(self, rank: int, value: Any) -> None:
         self.pending.pop(rank, None)
-        self._reply(rank, ("result", value, self._comm_state(rank)))
+        self._reply(rank, ("result", value, self._comm_state(rank),
+                           self._take_reclaim(rank)))
 
     def _reply_abort(self, rank: int) -> None:
         self.pending.pop(rank, None)
@@ -396,7 +592,10 @@ class _Router:
     def _ptp_observe(self, ctx: _Ctx, src_g: int, dest_g: int,
                      payload: Any) -> None:
         if ctx is self.ctxs[_ROOT_CTX] and self.observer is not None:
-            self.observer.on_ptp(src_g, dest_g, payload_nbytes(payload))
+            # logical size: a shm descriptor is priced as the array it
+            # stands for, so the model is independent of the transport
+            self.observer.on_ptp(src_g, dest_g,
+                                 payload_logical_nbytes(payload))
 
     def _arrive(self, rank: int, ctx_id: int, op: str, payload: Any,
                 kind: str) -> None:
@@ -426,7 +625,9 @@ class _Router:
             self._finish_split(ctx_id, ctx)
         else:
             # ship contributions to the group's combiner (its rank 0)
-            self._reply(ctx.members[0], ("combine", list(ctx.contribs)))
+            combiner = ctx.members[0]
+            self._reply(combiner, ("combine", list(ctx.contribs),
+                                   self._take_reclaim(combiner)))
 
     def _finish_split(self, ctx_id: int, ctx: _Ctx) -> None:
         groups: dict[int, list[tuple[int, int]]] = {}
@@ -453,7 +654,11 @@ class _Router:
     def _on_combined(self, rank: int, msg: tuple) -> None:
         if self.error is not None:
             return                      # stale; combiner already aborted
-        _, ctx_id, results, sent, recv = msg
+        _, ctx_id, results, sent, recv, freed = msg
+        # credit consumed contribution leases first, so each owner's
+        # token rides the very result reply that completes its step
+        for owner, token in freed:
+            self.shm_reclaim.setdefault(owner, []).append(token)
         ctx = self.ctxs[ctx_id]
         if ctx is self.ctxs[_ROOT_CTX] and self.observer is not None:
             self.observer.on_collective(ctx.op, sent, recv, ctx.size)
@@ -593,6 +798,11 @@ class _Router:
             self._on_tryrecv(rank, msg)
         elif kind == "probe":
             self._on_probe(rank, msg)
+        elif kind == "shm_new":
+            self.shm_owned.setdefault(rank, set()).update(msg[1])
+        elif kind == "shm_free":
+            for owner, token in msg[1]:
+                self.shm_reclaim.setdefault(owner, []).append(token)
         elif kind in ("done", "aborted", "error"):
             self._on_final(rank, msg)
         else:
@@ -658,12 +868,19 @@ class _Router:
                     continue
                 self._handle(rank, msg)
 
+    def all_shm_segments(self) -> list[str]:
+        return sorted(n for names in self.shm_owned.values() for n in names)
+
 
 class ProcessEngine(SpmdEngine):
     """Runs ranks as OS processes coordinated by an in-parent router."""
 
     name = "process"
     detects_deadlock = False
+
+    #: diagnostic: shm segment names of the most recent job on this engine
+    #: (all unlinked by the time ``run`` returns); tests assert cleanup here
+    last_shm_segments: tuple[str, ...] = ()
 
     def run(
         self,
@@ -687,6 +904,20 @@ class ProcessEngine(SpmdEngine):
         if trace_on:
             trace.begin(size, backend=self.name)
 
+        threshold = resolve_shm_threshold()
+        shm_cfg = None
+        if threshold is not None:
+            # short prefix: POSIX shm names are length-limited (macOS: 31)
+            shm_cfg = (f"rp{os.getpid()}j{next(_JOB_SEQ)}", threshold)
+            # start the resource tracker *before* forking so every child
+            # shares it; with one tracker, segment registrations balance
+            # against the parent's final unlink and shutdown stays quiet
+            try:
+                from multiprocessing import resource_tracker
+                resource_tracker.ensure_running()
+            except Exception:
+                pass
+
         ctx = _mp_context()
         fork = ctx.get_start_method() == "fork"
         pipes = [ctx.Pipe(duplex=True) for _ in range(size)]
@@ -699,12 +930,12 @@ class ProcessEngine(SpmdEngine):
             if fork:
                 target, pargs = _child_main_fork, (
                     child_ends, parent_ends, rank, size,
-                    worker, tuple(args), kwargs, perf, trace_on,
+                    worker, tuple(args), kwargs, perf, trace_on, shm_cfg,
                 )
             else:
                 target, pargs = _child_main, (
                     child_ends[rank], rank, size,
-                    worker, tuple(args), kwargs, perf, trace_on,
+                    worker, tuple(args), kwargs, perf, trace_on, shm_cfg,
                 )
             procs.append(ctx.Process(
                 target=target, args=pargs,
@@ -727,6 +958,13 @@ class ProcessEngine(SpmdEngine):
                     p.join(timeout=1.0)
             for c in parent_ends:
                 c.close()
+            # guaranteed data-plane cleanup: owners only closed their
+            # mappings, so the parent unlinks every announced segment —
+            # including those of ranks that died without a finally block
+            segments = router.all_shm_segments()
+            for name in segments:
+                unlink_segment(name)
+            type(self).last_shm_segments = tuple(segments)
 
         if trace_on:
             # a hard-killed rank never sends its final message, so it is

@@ -114,6 +114,46 @@ def test_hard_process_death_truncates_trace():
     assert "did the rank die?" in diag.message
 
 
+def _hard_exit_with_leases_worker(comm):
+    """Rank 1 dies with shared-memory leases outstanding: it has placed
+    large arrays into its segments (allreduce + a buffered send nobody
+    received) and exits without any cleanup (module-level: fork/spawn
+    safe)."""
+    from repro.runtime import reduction
+
+    big = np.full(50_000, comm.rank, dtype=np.float64)  # ≫ default threshold
+    comm.allreduce(big, reduction.SUM)
+    if comm.rank == 1:
+        comm.send(big, dest=2, tag=9)   # buffered, never received
+        comm.allreduce(big, reduction.SUM)  # places another lease...
+        os._exit(13)                    # ...and dies holding all of them
+    comm.allreduce(big, reduction.SUM)
+    comm.barrier()
+    return int(big[0])
+
+
+def test_hard_death_with_shm_leases_leaks_no_segments():
+    """A rank hard-killed mid-level with data-plane leases in flight must
+    produce a clean WorkerCrashError and leave no shared-memory segment
+    behind — the engine parent unlinks every announced segment."""
+    from multiprocessing import shared_memory
+
+    from repro.runtime.engines.process import ProcessEngine
+
+    with pytest.raises(SpmdWorkerError) as excinfo:
+        run_spmd(3, _hard_exit_with_leases_worker, backend="process",
+                 timeout=30.0)
+    assert isinstance(excinfo.value.failures[1], WorkerCrashError)
+
+    segments = ProcessEngine.last_shm_segments
+    assert segments, "the run should have used the data plane"
+    assert any("r1s" in name for name in segments), \
+        "the dying rank should have announced segments before the kill"
+    for name in segments:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
 def test_death_during_blocked_update_rounds():
     """Crash between blocked all-to-all rounds: peers inside the next round
     must be released, not deadlocked."""

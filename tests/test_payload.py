@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.runtime import payload_nbytes
+from repro.runtime import payload_logical_nbytes, payload_nbytes
+from repro.runtime.shm import SHM_DESCRIPTOR_NBYTES, ShmDescriptor
 
 
 def test_none_is_free():
@@ -45,3 +46,41 @@ def test_object_with_dict():
 
 def test_opaque_object_has_constant_cost():
     assert payload_nbytes(object()) > 0
+
+
+def _descriptor(nbytes: int = 80_000) -> ShmDescriptor:
+    return ShmDescriptor(segment="rp1j0r0s0", offset=0, dtype="<f8",
+                         shape=(nbytes // 8,), nbytes=nbytes,
+                         owner=0, token=3)
+
+
+def test_descriptor_priced_as_control_bytes():
+    """A shm descriptor crossing a pipe costs its control record, not the
+    array it points at — those bytes never moved with the message."""
+    desc = _descriptor()
+    assert payload_nbytes(desc) == SHM_DESCRIPTOR_NBYTES
+    assert payload_nbytes(desc) < desc.nbytes
+
+
+def test_descriptor_logical_size_is_the_array():
+    """The simulated machine model prices the *logical* message: the full
+    array a descriptor stands for, independent of the transport."""
+    desc = _descriptor()
+    assert payload_logical_nbytes(desc) == desc.nbytes
+    arr = np.zeros(desc.nbytes // 8, dtype=np.float64)
+    assert payload_logical_nbytes(desc) == payload_logical_nbytes(arr)
+
+
+def test_descriptor_pricing_recurses_through_containers():
+    desc = _descriptor(64_000)
+    arr = np.zeros(10, dtype=np.int64)
+    msg = {"contribs": [desc, arr], "meta": (1, "x")}
+    ctrl = payload_nbytes(msg)
+    logical = payload_logical_nbytes(msg)
+    assert logical - ctrl == desc.nbytes - SHM_DESCRIPTOR_NBYTES
+
+
+def test_plain_payloads_priced_identically_by_both():
+    for obj in (None, np.zeros((5, 5)), [1, 2.0, "s", b"b"],
+                {"a": np.arange(3)}):
+        assert payload_nbytes(obj) == payload_logical_nbytes(obj)
