@@ -7,6 +7,10 @@
 * **Multiway vs binary-subset categorical splits** (footnote 1): subset
   splits cost more at split time but fragment the data less.
 * **Gini vs entropy** (extension): same machinery, different index.
+* **Latency batching** (extension): ``combined_enquiry`` and
+  ``fused_collectives`` both default on — each strictly reduces the
+  number of engine rendezvous without changing the tree.  Turning them
+  off reproduces the historical per-enquiry / per-attribute schedules.
 """
 
 from __future__ import annotations
@@ -57,6 +61,56 @@ def test_per_level_vs_per_node_communication(benchmark):
     # pays for it in modeled runtime
     assert nc > 3 * lc
     assert node.stats.parallel_time > 1.5 * level.stats.parallel_time
+
+
+def test_latency_batching_ablations(benchmark):
+    ds = paper_dataset(N, "F2", seed=1)
+    variants = [
+        ("both on (default)", InductionConfig(max_depth=8)),
+        ("no combined enquiry",
+         InductionConfig(max_depth=8, combined_enquiry=False)),
+        ("no fused collectives",
+         InductionConfig(max_depth=8, fused_collectives=False)),
+        ("neither",
+         InductionConfig(max_depth=8, combined_enquiry=False,
+                         fused_collectives=False)),
+    ]
+
+    benchmark.pedantic(
+        lambda: ScalParC(P, config=variants[0][1]).fit(ds),
+        rounds=1, iterations=1,
+    )
+
+    runs = [(name, ScalParC(P, config=cfg).fit(ds))
+            for name, cfg in variants]
+    rows = [
+        [name, sum(r.stats.collective_counts.values()),
+         f"{r.stats.parallel_time:.3f}"]
+        for name, r in runs
+    ]
+    text = format_table(
+        ["variant", "collective steps", "modeled T_p (s)"], rows,
+        title=f"Latency-batching ablation: combined enquiries + fused "
+              f"collectives (N={N}, p={P}, identical trees)",
+    )
+    emit("ablation_latency_batching", text, data={
+        "n": N, "p": P,
+        "rows": [
+            {"variant": name,
+             "collective_steps": sum(r.stats.collective_counts.values()),
+             "modeled_parallel_time_s": r.stats.parallel_time}
+            for name, r in runs
+        ],
+    })
+
+    # neither knob may change the tree, and each strictly cuts rendezvous
+    ref = runs[0][1]
+    steps = [sum(r.stats.collective_counts.values()) for _, r in runs]
+    for name, r in runs[1:]:
+        assert r.tree.structurally_equal(ref.tree), name
+        assert sum(r.stats.collective_counts.values()) > steps[0], name
+    # the fully ablated schedule is the most rendezvous-hungry of all
+    assert steps[3] == max(steps)
 
 
 def test_multiway_vs_subset_categorical(benchmark):

@@ -83,7 +83,20 @@ def test_comm_model_microbenchmark(benchmark):
         ["parameter", "configured", "fitted from microbenchmark"], rows,
         title="Machine benchmark (linear communication model, §5)",
     )
-    emit("comm_model", text)
+    emit("comm_model", text, data={
+        "machine": CRAY_T3D.name,
+        "message_sizes_bytes": SIZES,
+        "fits": {
+            "ptp_latency_s": {"configured": CRAY_T3D.ptp_latency,
+                              "fitted": float(intercept)},
+            "ptp_bandwidth_Bps": {"configured": CRAY_T3D.ptp_bandwidth,
+                                  "fitted": float(fitted_bw)},
+            "a2a_latency_per_proc_s": {"configured": CRAY_T3D.a2a_latency,
+                                       "fitted": float(intercept_a / p)},
+            "a2a_bandwidth_Bps": {"configured": CRAY_T3D.a2a_bandwidth,
+                                  "fitted": float(1.0 / slope_a)},
+        },
+    })
 
     # ---- the fits must recover the configured machine -------------------
     np.testing.assert_allclose(intercept, CRAY_T3D.ptp_latency, rtol=0.05)

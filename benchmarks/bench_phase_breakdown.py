@@ -44,7 +44,14 @@ def test_phase_breakdown(benchmark):
         ["p", "T_p (s)"] + list(ALL_PHASES), rows,
         title=f"Phase breakdown of the modeled runtime (Quest F2, N={N})",
     )
-    emit("phase_breakdown", text)
+    emit("phase_breakdown", text, data={
+        "n": N,
+        "rows": [
+            {"p": p, "parallel_time_s": float(rows[i][1]),
+             "phase_share": shares[p]}
+            for i, p in enumerate(PROCS)
+        ],
+    })
 
     # every phase is represented and the accounting covers the runtime
     for p in PROCS:

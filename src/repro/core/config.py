@@ -51,7 +51,17 @@ class InductionConfig:
         the node-table enquiries of *all* non-splitting attributes into a
         single enquire per level instead of one per attribute — same
         bytes, 1 all-to-all latency pair instead of n_a−1.  Parallel only;
-        never changes the induced tree.
+        never changes the induced tree, so it defaults on; set False for
+        the per-attribute ablation.  Incompatible with
+        ``per_node_communication`` (one batches per level, the other
+        un-batches), so that ablation silently coerces this knob to False.
+    fused_collectives:
+        Collective fusion (see :mod:`repro.runtime.fusion`): drive all
+        attributes' FindSplit reductions through one deferred batch so a
+        level costs a constant number of fused rendezvous instead of
+        O(n_attributes) collectives — same bytes and bit-identical trees,
+        strictly fewer latency charges.  Default on; set False for the
+        per-attribute collective schedule as an ablation.  Parallel only.
     backend:
         SPMD execution engine for the parallel run: ``"thread"``,
         ``"process"``, ``"cooperative"``, or ``None`` to defer to the
@@ -68,7 +78,8 @@ class InductionConfig:
     blocked_updates: bool = True
     max_update_block: int | None = None
     per_node_communication: bool = False
-    combined_enquiry: bool = False
+    combined_enquiry: bool = True
+    fused_collectives: bool = True
     backend: str | None = None
 
     def __post_init__(self):
@@ -93,7 +104,7 @@ class InductionConfig:
         if self.max_update_block is not None and self.max_update_block <= 0:
             raise ValueError("max_update_block must be positive")
         if self.combined_enquiry and self.per_node_communication:
-            raise ValueError(
-                "combined_enquiry and per_node_communication are mutually "
-                "exclusive (one batches per level, the other un-batches)"
-            )
+            # the per-node ablation un-batches what combined_enquiry
+            # batches; since combined_enquiry is on by default, coerce it
+            # off rather than making the ablation unreachable
+            object.__setattr__(self, "combined_enquiry", False)

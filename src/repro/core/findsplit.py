@@ -37,16 +37,19 @@ __all__ = [
     "node_class_totals",
     "continuous_candidates",
     "categorical_candidates",
+    "level_candidates",
     "global_best_splits",
     "coordinator_of",
 ]
 
 #: exscan operator carrying "the most recent rank's (flag, value) row":
-#: rows with flag > 0 overwrite earlier rows elementwise
+#: rows with flag > 0 overwrite earlier rows elementwise; the flag couples
+#: the cells of each row, so fusion must not flatten it
 KEEP_LAST = ReduceOp(
     "keep_last",
     lambda a, b: np.where(b[..., 0:1] > 0, b, a),
     identity_like=lambda t: np.zeros_like(t),
+    cellwise=False,
 )
 
 
@@ -73,6 +76,54 @@ def node_class_totals(
     return comm.allreduce(local.astype(np.int64), reduction.SUM)
 
 
+def _continuous_local_stats(
+    comm: Communicator, alist: LocalAttributeList, n_nodes: int,
+    n_classes: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """FindSplitI's local compute for one continuous attribute:
+    ``(local_counts, boundary, seg_sizes)`` — the two exscan payloads plus
+    the per-node segment sizes the later scan needs."""
+    n_local = alist.n_local
+    # count matrix at the start of my fragment, per node
+    local_counts = np.bincount(
+        alist.entry_nodes() * n_classes + alist.labels,
+        minlength=n_nodes * n_classes,
+    ).reshape(n_nodes, n_classes).astype(np.int64)
+
+    # boundary info: my per-node (has-entries, last-value) row
+    seg_sizes = np.diff(alist.offsets)
+    boundary = np.zeros((n_nodes, 2), dtype=np.float64)
+    nonempty = seg_sizes > 0
+    boundary[nonempty, 0] = 1.0
+    last_idx = np.minimum(alist.offsets[1:] - 1, n_local - 1)
+    if n_local:
+        boundary[nonempty, 1] = alist.values[last_idx[nonempty]]
+    comm.perf.transient_bytes(local_counts.nbytes + boundary.nbytes)
+    return local_counts, boundary, seg_sizes
+
+
+def _finish_continuous(
+    comm: Communicator,
+    alist: LocalAttributeList,
+    totals: np.ndarray,
+    candidate_nodes: np.ndarray,
+    config: InductionConfig,
+    below: np.ndarray,
+    pred: np.ndarray,
+    seg_sizes: np.ndarray,
+) -> np.ndarray:
+    """FindSplitII's local half for one continuous attribute, given the
+    exscan results (however they were communicated)."""
+    out = pack_candidates(totals.shape[0])
+    if alist.n_local == 0:
+        return out
+    with timed_phase(comm.perf, FINDSPLIT2):
+        return _scan_candidates(
+            comm, alist, totals, candidate_nodes, config, out,
+            below, pred[:, 0] > 0, pred[:, 1], seg_sizes,
+        )
+
+
 def continuous_candidates(
     comm: Communicator,
     alist: LocalAttributeList,
@@ -84,43 +135,20 @@ def continuous_candidates(
 
     Returns an (n_nodes, 3) candidate matrix ``[score, attr, threshold]``
     holding this rank's best valid split position per candidate node
-    (``inf`` rows where none exists).  Collective: performs two exscans.
+    (``inf`` rows where none exists).  Collective: performs two exscans —
+    this is the *unfused* schedule; :func:`level_candidates` batches all
+    attributes' exscans instead.
     """
     n_nodes, n_classes = totals.shape
-    n_local = alist.n_local
-    nodes = alist.entry_nodes()
-    labels = alist.labels
-    values = alist.values
-
-    with timed_phase(comm.perf, FINDSPLIT1):
-        # FindSplitI: count matrix at the start of my fragment, per node
-        local_counts = np.bincount(
-            nodes * n_classes + labels, minlength=n_nodes * n_classes
-        ).reshape(n_nodes, n_classes).astype(np.int64)
-        below = comm.exscan(local_counts, reduction.SUM)
-
-        # boundary info: my per-node (has-entries, last-value) row
-        seg_sizes = np.diff(alist.offsets)
-        boundary = np.zeros((n_nodes, 2), dtype=np.float64)
-        nonempty = seg_sizes > 0
-        boundary[nonempty, 0] = 1.0
-        last_idx = np.minimum(alist.offsets[1:] - 1, n_local - 1)
-        if n_local:
-            boundary[nonempty, 1] = values[last_idx[nonempty]]
-        pred = comm.exscan(boundary, KEEP_LAST)
-        has_pred = pred[:, 0] > 0
-        pred_val = pred[:, 1]
-        comm.perf.transient_bytes(local_counts.nbytes + boundary.nbytes)
-
-    out = pack_candidates(n_nodes)
-    if n_local == 0:
-        return out
-
-    with timed_phase(comm.perf, FINDSPLIT2):
-        return _scan_candidates(
-            comm, alist, totals, candidate_nodes, config, out,
-            below, has_pred, pred_val, seg_sizes,
+    with timed_phase(comm, FINDSPLIT1):
+        local_counts, boundary, seg_sizes = _continuous_local_stats(
+            comm, alist, n_nodes, n_classes
         )
+        below = comm.exscan(local_counts, reduction.SUM)
+        pred = comm.exscan(boundary, KEEP_LAST)
+    return _finish_continuous(
+        comm, alist, totals, candidate_nodes, config, below, pred, seg_sizes
+    )
 
 
 def _scan_candidates(
@@ -189,42 +217,38 @@ def _scan_candidates(
     return out
 
 
-def categorical_candidates(
+def _categorical_local_cube(
+    comm: Communicator, alist: LocalAttributeList, n_nodes: int,
+    n_classes: int,
+) -> np.ndarray:
+    """FindSplitI's local compute for one categorical attribute: the
+    (node, value, class) count cube this rank contributes to the
+    attribute's coordinator."""
+    n_values = alist.spec.n_values
+    local = np.bincount(
+        (alist.entry_nodes() * n_values + alist.values.astype(np.int64))
+        * n_classes + alist.labels,
+        minlength=n_nodes * n_values * n_classes,
+    ).reshape(n_nodes, n_values, n_classes).astype(np.int64)
+    comm.perf.add_compute("scan", alist.n_local)
+    comm.perf.transient_bytes(local.nbytes)
+    return local
+
+
+def _score_categorical(
     comm: Communicator,
     alist: LocalAttributeList,
     candidate_nodes: np.ndarray,
-    n_classes: int,
     config: InductionConfig,
+    matrices: np.ndarray | None,
+    root: int,
 ) -> tuple[np.ndarray, dict[int, tuple[np.ndarray, np.ndarray | None]]]:
-    """Candidates for one categorical attribute (coordinator-scored).
-
-    Local (node, value, class) count cubes are reduced to the attribute's
-    coordinator, which scores each candidate node (multiway or best binary
-    subset per config) and keeps the global count matrix + subset mask for
-    the later child-layout broadcast.
-
-    Returns ``(candidate_rows, coordinator_state)`` — ``coordinator_state``
-    maps node → (count matrix, mask) and is non-empty only on the
-    coordinator rank.
-    """
-    n_nodes = len(candidate_nodes)
-    n_values = alist.spec.n_values
-    nodes = alist.entry_nodes()
-    with timed_phase(comm.perf, FINDSPLIT1):
-        local = np.bincount(
-            (nodes * n_values + alist.values.astype(np.int64)) * n_classes
-            + alist.labels,
-            minlength=n_nodes * n_values * n_classes,
-        ).reshape(n_nodes, n_values, n_classes).astype(np.int64)
-        comm.perf.add_compute("scan", alist.n_local)
-        comm.perf.transient_bytes(local.nbytes)
-
-        root = coordinator_of(alist.attr_index, comm.size)
-        matrices = comm.reduce(local, reduction.SUM, root=root)
-
-    out = pack_candidates(n_nodes)
+    """Coordinator-side scoring of one categorical attribute's reduced
+    count cubes; non-coordinators (``matrices is None``) return empty
+    candidate rows."""
+    out = pack_candidates(len(candidate_nodes))
     state: dict[int, tuple[np.ndarray, np.ndarray | None]] = {}
-    if comm.rank == root:
+    if comm.rank == root and matrices is not None:
         for k in np.nonzero(candidate_nodes)[0]:
             score, mask = best_categorical_split(
                 matrices[k],
@@ -242,8 +266,119 @@ def categorical_candidates(
     return out, state
 
 
-def global_best_splits(comm: Communicator, local_best: np.ndarray) -> np.ndarray:
+def categorical_candidates(
+    comm: Communicator,
+    alist: LocalAttributeList,
+    candidate_nodes: np.ndarray,
+    n_classes: int,
+    config: InductionConfig,
+) -> tuple[np.ndarray, dict[int, tuple[np.ndarray, np.ndarray | None]]]:
+    """Candidates for one categorical attribute (coordinator-scored).
+
+    Local (node, value, class) count cubes are reduced to the attribute's
+    coordinator, which scores each candidate node (multiway or best binary
+    subset per config) and keeps the global count matrix + subset mask for
+    the later child-layout broadcast.
+
+    Returns ``(candidate_rows, coordinator_state)`` — ``coordinator_state``
+    maps node → (count matrix, mask) and is non-empty only on the
+    coordinator rank.  Collective: one reduce — this is the *unfused*
+    schedule; :func:`level_candidates` batches all attributes' reductions
+    instead.
+    """
+    n_nodes = len(candidate_nodes)
+    root = coordinator_of(alist.attr_index, comm.size)
+    with timed_phase(comm, FINDSPLIT1):
+        local = _categorical_local_cube(comm, alist, n_nodes, n_classes)
+        matrices = comm.reduce(local, reduction.SUM, root=root)
+    return _score_categorical(
+        comm, alist, candidate_nodes, config, matrices, root
+    )
+
+
+def level_candidates(
+    comm: Communicator,
+    lists: list[LocalAttributeList],
+    totals: np.ndarray,
+    candidate_nodes: np.ndarray,
+    config: InductionConfig,
+) -> tuple[np.ndarray, dict[int, dict[int, tuple[np.ndarray, np.ndarray | None]]]]:
+    """Fused FindSplit driver: every attribute's FindSplitI collectives in
+    one batch (the per-level analogue of §3.1's batching argument applied
+    to the reductions themselves).
+
+    One :meth:`~repro.runtime.communicator.Communicator.fused` batch
+    carries all continuous attributes' count exscans (one
+    ``fused_exscan(op=sum)``), all their boundary exscans (one
+    ``fused_exscan(op=keep_last)``) and all categorical attributes' count
+    cubes (one segmented ``fused_reduce(op=sum)`` routing each section to
+    its own coordinator) — a constant ≤ 3 rendezvous per level however
+    many attributes the schema has, versus ``2·n_cont + n_cat`` on the
+    unfused path.  The results are bit-identical either way.
+
+    Returns ``(local_best, cat_state)``: this rank's folded candidate rows
+    over all attributes, and per-attribute coordinator state keyed like
+    :func:`categorical_candidates`'s.
+    """
+    n_nodes, n_classes = totals.shape
+    cont_pending: list[tuple[LocalAttributeList, object, object, np.ndarray]] = []
+    cat_pending: list[tuple[LocalAttributeList, object, int]] = []
+    with timed_phase(comm, FINDSPLIT1):
+        with comm.fused() as batch:
+            for alist in lists:
+                if alist.spec.is_continuous:
+                    local_counts, boundary, seg_sizes = \
+                        _continuous_local_stats(comm, alist, n_nodes, n_classes)
+                    cont_pending.append((
+                        alist,
+                        batch.exscan(local_counts, reduction.SUM),
+                        batch.exscan(boundary, KEEP_LAST),
+                        seg_sizes,
+                    ))
+                else:
+                    local = _categorical_local_cube(
+                        comm, alist, n_nodes, n_classes
+                    )
+                    root = coordinator_of(alist.attr_index, comm.size)
+                    cat_pending.append(
+                        (alist, batch.reduce(local, reduction.SUM, root=root),
+                         root)
+                    )
+
+    local_best = pack_candidates(n_nodes)
+    cat_state: dict[int, dict[int, tuple[np.ndarray, np.ndarray | None]]] = {}
+    for alist, below_f, pred_f, seg_sizes in cont_pending:
+        rows = _finish_continuous(
+            comm, alist, totals, candidate_nodes, config,
+            below_f.result(), pred_f.result(), seg_sizes,
+        )
+        take = candidate_beats(rows, local_best)
+        local_best = np.where(take[:, None], rows, local_best)
+    for alist, cube_f, root in cat_pending:
+        rows, state = _score_categorical(
+            comm, alist, candidate_nodes, config, cube_f.result(), root
+        )
+        if state:
+            cat_state[alist.attr_index] = state
+        take = candidate_beats(rows, local_best)
+        local_best = np.where(take[:, None], rows, local_best)
+    return local_best, cat_state
+
+
+def global_best_splits(comm: Communicator, local_best: np.ndarray,
+                       fused: bool = False) -> np.ndarray:
     """Allreduce the per-node candidate rows with the BEST_SPLIT operator —
     FindSplitII's 'overall best splitting criteria for each node is found
-    using a parallel reduction operation'."""
-    return comm.allreduce(local_best, BEST_SPLIT)
+    using a parallel reduction operation'.
+
+    With ``fused=True`` the allreduce rides the fusion layer (so it would
+    pack with any other reduction issued in the same batch; FindSplitII
+    has no independent peer to pair it with — the termination stats it
+    could share a buffer with are what *candidate_nodes*, and hence this
+    very payload, is derived from — so it flushes as a batch of one).
+    """
+    if not fused:
+        return comm.allreduce(local_best, BEST_SPLIT)
+    with comm.fused() as batch:
+        future = batch.allreduce(local_best, BEST_SPLIT)
+    return future.result()

@@ -38,6 +38,7 @@ from .findsplit import (
     categorical_candidates,
     continuous_candidates,
     global_best_splits,
+    level_candidates,
     node_class_totals,
 )
 from .phases import FINDSPLIT1, FINDSPLIT2, PRESORT, timed_phase
@@ -103,24 +104,35 @@ def induce_worker(
         candidate_nodes = ~terminal
 
         # ---- FindSplitI + FindSplitII ---------------------------------
+        # fused: one batched rendezvous per (collective, operator) group
+        # for the whole level, however many attributes the schema has;
+        # unfused (the ablation): 2 exscans per continuous attribute plus
+        # 1 reduce per categorical attribute, issued one by one
         local_best = pack_candidates(m)
         cat_state: dict[int, dict[int, tuple[np.ndarray, np.ndarray | None]]] = {}
         if bool(candidate_nodes.any()):
-            for alist in lists:
-                if alist.spec.is_continuous:
-                    rows = continuous_candidates(
-                        comm, alist, totals, candidate_nodes, config
-                    )
-                else:
-                    rows, state = categorical_candidates(
-                        comm, alist, candidate_nodes, n_classes, config
-                    )
-                    if state:
-                        cat_state[alist.attr_index] = state
-                take = candidate_beats(rows, local_best)
-                local_best = np.where(take[:, None], rows, local_best)
+            if config.fused_collectives:
+                local_best, cat_state = level_candidates(
+                    comm, lists, totals, candidate_nodes, config
+                )
+            else:
+                for alist in lists:
+                    if alist.spec.is_continuous:
+                        rows = continuous_candidates(
+                            comm, alist, totals, candidate_nodes, config
+                        )
+                    else:
+                        rows, state = categorical_candidates(
+                            comm, alist, candidate_nodes, n_classes, config
+                        )
+                        if state:
+                            cat_state[alist.attr_index] = state
+                    take = candidate_beats(rows, local_best)
+                    local_best = np.where(take[:, None], rows, local_best)
             with timed_phase(comm, FINDSPLIT2):
-                best = global_best_splits(comm, local_best)
+                best = global_best_splits(
+                    comm, local_best, fused=config.fused_collectives
+                )
         else:
             best = local_best
 

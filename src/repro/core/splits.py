@@ -59,11 +59,13 @@ def _best_split_combine(acc: np.ndarray, contrib: np.ndarray) -> np.ndarray:
     return np.where(take[..., None], contrib, acc)
 
 
-#: lexicographic-minimum reduction over candidate rows
+#: lexicographic-minimum reduction over candidate rows; couples the cells
+#: of each (score, attr, threshold) row, so fusion must not flatten it
 BEST_SPLIT = ReduceOp(
     "best_split",
     _best_split_combine,
     identity_like=lambda t: np.full_like(t, np.inf),
+    cellwise=False,
 )
 
 

@@ -24,7 +24,8 @@ from typing import Sequence
 
 from .machine import MachineSpec
 
-__all__ = ["collective_cost", "ptp_cost", "collective_category"]
+__all__ = ["collective_cost", "ptp_cost", "collective_category",
+           "fused_width"]
 
 #: op-tag prefixes that use the all-to-all personalized model
 _A2A_PREFIXES = ("alltoall",)
@@ -40,6 +41,26 @@ def collective_category(op: str) -> str:
     if name.startswith(_SYNC_PREFIXES):
         return "sync"
     return "tree"
+
+
+def fused_width(op: str) -> int:
+    """Number of *logical* collectives a runtime op tag stands for.
+
+    Fused collectives (:mod:`repro.runtime.fusion`) carry their section
+    count as ``n=`` in the tag — ``"fused_exscan(op=sum,n=6)"`` replaced
+    six logical exscans with one rendezvous; every other op stands for
+    itself.  The cost model prices the *tag* (latency once, bandwidth on
+    the packed bytes), which is exactly the fusion win; this helper lets
+    counters report how many logical collectives that one price covered.
+    """
+    name, sep, rest = op.partition("(")
+    if not (sep and name.startswith("fused_")):
+        return 1
+    for param in rest.rstrip(")").split(","):
+        key, eq, value = param.partition("=")
+        if eq and key == "n" and value.isdigit():
+            return max(1, int(value))
+    return 1
 
 
 def collective_cost(

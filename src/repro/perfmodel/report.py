@@ -60,6 +60,10 @@ class SimulatedRunStats:
     memory_per_rank_max: int
     #: collective step counts by category (tree / a2a / sync)
     collective_counts: dict = field(default_factory=dict)
+    #: logical collectives behind those steps (summed over ranks): a fused
+    #: rendezvous counts once per packed section here, so the gap to
+    #: sum(collective_counts.values()) is exactly what fusion saved
+    logical_collectives: int = 0
     #: bytes by category
     collective_bytes: dict = field(default_factory=dict)
     #: compute units by kind, summed over ranks
@@ -125,6 +129,9 @@ class SimulatedRunStats:
             memory_per_rank=mem,
             memory_per_rank_max=max(mem),
             collective_counts=coll_counts,
+            logical_collectives=sum(
+                getattr(t, "n_logical_collectives", 0) for t in trackers
+            ),
             collective_bytes=coll_bytes,
             compute_units=units,
             phase_seconds=phases,
@@ -159,7 +166,12 @@ class SimulatedRunStats:
             f"  traffic       : total {format_bytes(self.total_bytes)},"
             f" per-rank max {format_bytes(self.bytes_per_rank_max)}",
             f"  memory/rank   : max {format_bytes(self.memory_per_rank_max)}",
-            f"  collectives   : {dict(self.collective_counts)}",
+            f"  collectives   : {dict(self.collective_counts)}"
+            + (
+                f" (fused from {self.logical_collectives} logical)"
+                if self.logical_collectives
+                > sum(self.collective_counts.values()) else ""
+            ),
         ]
         if self.phase_bytes:
             vol = ", ".join(

@@ -25,7 +25,12 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
-from .costmodel import collective_category, collective_cost, ptp_cost
+from .costmodel import (
+    collective_category,
+    collective_cost,
+    fused_width,
+    ptp_cost,
+)
 from .machine import CRAY_T3D, MachineSpec
 
 __all__ = ["RankTracker", "PerfRun"]
@@ -45,6 +50,10 @@ class RankTracker:
     bytes_sent: int = 0
     bytes_recv: int = 0
     n_collectives: int = 0
+    #: logical collectives behind the physical ones: a fused rendezvous
+    #: (repro.runtime.fusion) counts once in n_collectives but once per
+    #: packed section here; equal to n_collectives on unfused runs
+    n_logical_collectives: int = 0
     n_ptp: int = 0
 
     compute_units: Counter = field(default_factory=Counter)
@@ -233,12 +242,14 @@ class PerfRun:
         cost = collective_cost(self.machine, op, sent, recv, size)
         new_clock = max(t.clock for t in self.trackers) + cost
         category = collective_category(op)
+        width = fused_width(op)
         for t, s, r in zip(self.trackers, sent, recv):
             t.comm_seconds += new_clock - t.clock
             t.clock = new_clock
             t.bytes_sent += s
             t.bytes_recv += r
             t.n_collectives += 1
+            t.n_logical_collectives += width
             t.collective_counts[category] += 1
             t.collective_bytes[category] += s + r
             t.transient_bytes(s + r)

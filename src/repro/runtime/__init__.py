@@ -47,6 +47,7 @@ from .errors import (
     SpmdWorkerError,
     WorkerCrashError,
 )
+from .fusion import FusedBatch, FusedFuture, FusionError
 from .payload import payload_logical_nbytes, payload_nbytes
 from .reduction import ReduceOp, make_op
 from .shm import (
@@ -61,6 +62,7 @@ from .shm import (
 )
 from .thread_engine import CommObserver, ThreadCommunicator
 from .tracing import (
+    LogicalOp,
     TraceCollector,
     TraceConformanceError,
     TraceEvent,
@@ -68,6 +70,7 @@ from .tracing import (
     check_traces,
     format_trace_report,
     last_trace_collector,
+    logical_ops,
     tag_level,
     trace_enabled,
 )
@@ -81,7 +84,11 @@ __all__ = [
     "DEFAULT_BACKEND",
     "DEFAULT_SHM_THRESHOLD",
     "DEFAULT_TIMEOUT",
+    "FusedBatch",
+    "FusedFuture",
+    "FusionError",
     "InvalidRankError",
+    "LogicalOp",
     "NullPerf",
     "ReduceOp",
     "SHM_THRESHOLD_ENV",
@@ -106,6 +113,7 @@ __all__ = [
     "format_trace_report",
     "get_engine",
     "last_trace_collector",
+    "logical_ops",
     "make_op",
     "payload_logical_nbytes",
     "payload_nbytes",

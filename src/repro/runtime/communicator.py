@@ -132,12 +132,19 @@ class Communicator(ABC):
         payload: Any,
         combine: Callable[[list], list],
         comm_bytes: _BytesFn | None = None,
+        fused_manifest: Callable[[Any], tuple] | None = None,
     ) -> Any:
         """Engine-independent collective front door: dispatches to the
         engine's :meth:`_exchange_impl` and, when this rank carries a
         trace recorder, records one event per completed collective.  A
         collective that aborts records nothing — the truncation is the
-        evidence the conformance checker reports."""
+        evidence the conformance checker reports.
+
+        ``fused_manifest`` is supplied by the fusion layer: called with
+        this rank's result, it expands a fused collective back into its
+        per-logical-op digest records.  It is only invoked when a tracer
+        is attached, so untraced fused runs pay nothing for it.
+        """
         tracer = self._tracer
         if tracer is None:
             return self._exchange_impl(op, payload, combine, comm_bytes)
@@ -145,7 +152,9 @@ class Communicator(ABC):
         start = time.perf_counter()
         result = self._exchange_impl(op, payload, combine, comm_bytes)
         tracer.record(op, payload, result,
-                      time.perf_counter() - start, clock, self.perf)
+                      time.perf_counter() - start, clock, self.perf,
+                      fused_from=None if fused_manifest is None
+                      else fused_manifest(result))
         return result
 
     @abstractmethod
@@ -311,6 +320,22 @@ class Communicator(ABC):
         return self._exchange(f"scatter(root={root})", objs, combine, comm_bytes)
 
     # -- reductions -----------------------------------------------------
+
+    def fused(self) -> "Any":
+        """Open a deferred-collective batch (see :mod:`repro.runtime.fusion`).
+
+        Within the returned context, ``exscan``/``allreduce``/``reduce``
+        calls on the batch return futures; leaving the block flushes all
+        pending operations as one rendezvous per (kind, operator, layout)
+        group::
+
+            with comm.fused() as batch:
+                f = batch.exscan(counts, reduction.SUM)
+            prefix = f.result()
+        """
+        from .fusion import FusedBatch  # local import: fusion imports us
+
+        return FusedBatch(self)
 
     def _reduce_bytes(self, contribs: list) -> tuple[list[int], list[int]]:
         # tree reduction: every rank sends/receives O(log p) messages of its

@@ -47,11 +47,20 @@ class ReduceOp:
     identity_like:
         Optional function producing the operator identity for a given
         template array; required for exclusive scans (rank 0's result).
+    cellwise:
+        True when the operator treats every array cell independently
+        (SUM, MIN, …), making it invariant under reshaping — the fusion
+        layer (:mod:`repro.runtime.fusion`) may then flatten and
+        concatenate arbitrary-shaped contributions into one buffer.
+        Operators that couple cells within a trailing axis (MINLOC,
+        MAXLOC, lexicographic row reductions) must set False; fusion then
+        only concatenates contributions sharing that trailing shape.
     """
 
     name: str
     fn: Callable[[np.ndarray, np.ndarray], np.ndarray]
     identity_like: Callable[[np.ndarray], np.ndarray] | None = None
+    cellwise: bool = True
 
     def reduce(self, contributions: Sequence[np.ndarray]) -> np.ndarray:
         """Fold *contributions* in rank order and return the total."""
@@ -122,5 +131,5 @@ def _maxloc(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return np.where(take_b[..., None], b, a)
 
 
-MINLOC = ReduceOp("minloc", _minloc)
-MAXLOC = ReduceOp("maxloc", _maxloc)
+MINLOC = ReduceOp("minloc", _minloc, cellwise=False)
+MAXLOC = ReduceOp("maxloc", _maxloc, cellwise=False)

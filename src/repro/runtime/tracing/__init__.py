@@ -36,10 +36,12 @@ from .checker import (
     check_traces,
 )
 from .events import (
+    LogicalOp,
     REDUCE_KINDS,
     REPLICATED_KINDS,
     TRACE_ENV,
     TraceEvent,
+    logical_ops,
     payload_digest,
 )
 from .recorder import (
@@ -55,6 +57,7 @@ from .recorder import (
 __all__ = [
     "ConformanceReport",
     "Diagnostic",
+    "LogicalOp",
     "REDUCE_KINDS",
     "REPLICATED_KINDS",
     "TRACE_ENV",
@@ -65,6 +68,7 @@ __all__ = [
     "check_traces",
     "format_trace_report",
     "last_trace_collector",
+    "logical_ops",
     "payload_digest",
     "resolve_trace",
     "tag_level",

@@ -19,9 +19,15 @@ diagnostic code           meaning
 ``dtype-mismatch``        elementwise-reduce contribution dtypes differ
 ``shape-mismatch``        elementwise-reduce contribution shapes differ
 ``result-divergence``     a replicated result (bcast/allgather(v)/allreduce)
-                          hashes differently on different ranks
+                          hashes differently on different ranks — also
+                          raised per *section* of a fused collective when
+                          a replicated logical result diverges
 ``phase-mismatch``        ranks attribute the same step to different
                           algorithm phases
+``fusion-manifest-``      ranks packed different logical collectives into
+``mismatch``              the same fused rendezvous (different section
+                          count, order, logical ops, dtypes or shapes) —
+                          or a manifest is missing/corrupted on some rank
 ========================  ====================================================
 
 Sequence-alignment failures (``truncated-sequence`` / ``op-mismatch``)
@@ -34,7 +40,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import SpmdError
-from .events import REDUCE_KINDS, REPLICATED_KINDS, TraceEvent
+from .events import REDUCE_KINDS, REPLICATED_KINDS, TraceEvent, parse_op
 
 __all__ = [
     "ConformanceReport",
@@ -123,6 +129,74 @@ def _minority(groups: dict) -> tuple:
         if ranks is not majority:
             out.extend(ranks)
     return tuple(sorted(out))
+
+
+def _check_fused_step(step: int,
+                      present: dict[int, TraceEvent]) -> list[Diagnostic]:
+    """Cross-validate one fused collective's ``fused_from`` manifests.
+
+    First structurally — every rank must have packed the same logical
+    collectives, in the same order, with the same dtypes and shapes (a
+    divergent manifest means the fused buffers were not even aligned, so
+    the sliced-back results are garbage everywhere).  Then, when the
+    structure agrees, per-section: any section whose logical kind is
+    replicated (e.g. an ``allreduce`` riding the batch) must hash to the
+    same result on every rank, exactly as the unfused collective would
+    have been checked.
+    """
+    diags: list[Diagnostic] = []
+    structs: dict = {}
+    for rank in sorted(present):
+        manifest = present[rank].fused_from
+        key = None if manifest is None else tuple(
+            (e.op, e.dtype, e.shape) for e in manifest
+        )
+        structs.setdefault(key, []).append(rank)
+    if len(structs) > 1:
+        def _show(key):
+            if key is None:
+                return "no manifest"
+            return f"{len(key)} section(s): " + ", ".join(
+                f"{op} {dt}{list(sh)}" for op, dt, sh in key
+            )
+        detail = "; ".join(
+            f"ranks {ranks} packed [{_show(key)}]"
+            for key, ranks in sorted(structs.items(),
+                                     key=lambda kv: str(kv[0]))
+        )
+        diags.append(Diagnostic(
+            code="fusion-manifest-mismatch", step=step,
+            ranks=_minority(structs),
+            message=f"fused-collective manifests diverge: {detail}",
+        ))
+        return diags
+
+    manifest = present[next(iter(present))].fused_from
+    if not manifest:
+        return diags
+    for i, entry in enumerate(manifest):
+        logical_kind, _ = parse_op(entry.op)
+        if logical_kind not in REPLICATED_KINDS:
+            continue
+        digests: dict = {}
+        for rank in sorted(present):
+            digests.setdefault(
+                present[rank].fused_from[i].result_digest, []
+            ).append(rank)
+        if len(digests) > 1:
+            detail = "; ".join(
+                f"ranks {ranks} got {d}"
+                for d, ranks in sorted(digests.items())
+            )
+            diags.append(Diagnostic(
+                code="result-divergence", step=step,
+                ranks=_minority(digests),
+                message=(
+                    f"fused section {i} ({entry.op}) must replicate one "
+                    f"result on every rank but digests diverge: {detail}"
+                ),
+            ))
+    return diags
 
 
 def check_traces(
@@ -255,6 +329,9 @@ def check_traces(
                         f"but digests diverge: {detail}"
                     ),
                 ))
+
+        if kind.startswith("fused_"):
+            diags.extend(_check_fused_step(step, present))
 
         phases = _values(present, "phase")
         if len(phases) > 1:

@@ -29,10 +29,12 @@ from dataclasses import dataclass
 import numpy as np
 
 __all__ = [
+    "LogicalOp",
     "REDUCE_KINDS",
     "REPLICATED_KINDS",
     "TRACE_ENV",
     "TraceEvent",
+    "logical_ops",
     "parse_op",
     "payload_digest",
 ]
@@ -41,15 +43,23 @@ __all__ = [
 TRACE_ENV = "REPRO_SPMD_TRACE"
 
 #: collectives whose per-rank contributions are reduced elementwise and
-#: therefore must agree on dtype and shape across ranks
+#: therefore must agree on dtype and shape across ranks.  Fused variants
+#: (see repro.runtime.fusion) pack many logical reductions of the same
+#: kind into one buffer; the packed contributions still reduce
+#: elementwise, so the same dtype/shape agreement applies.
 REDUCE_KINDS = frozenset(
-    {"reduce", "allreduce", "scan", "exscan", "reduce_scatter"}
+    {"reduce", "allreduce", "scan", "exscan", "reduce_scatter",
+     "fused_reduce", "fused_allreduce", "fused_exscan"}
 )
 
 #: collectives whose result is replicated identically on every rank —
-#: digest divergence here means the "global" answer is not global
+#: digest divergence here means the "global" answer is not global.
+#: A fused_allreduce's event-level result is the packed total, identical
+#: on every rank, so it belongs here too; fused_reduce/fused_exscan
+#: return per-rank data and are instead cross-checked section-by-section
+#: via the fused_from manifest.
 REPLICATED_KINDS = frozenset(
-    {"bcast", "allgather", "allgatherv", "allreduce"}
+    {"bcast", "allgather", "allgatherv", "allreduce", "fused_allreduce"}
 )
 
 
@@ -139,6 +149,36 @@ def payload_digest(obj) -> str:
 
 
 @dataclass(frozen=True)
+class LogicalOp:
+    """One logical collective inside a fused rendezvous.
+
+    The fusion layer (:mod:`repro.runtime.fusion`) packs several logical
+    collectives into one engine exchange; the trace event for that
+    exchange carries a tuple of these records so checkers and
+    differential suites can still reason per logical op.  The ``op``
+    string is exactly what the *unfused* schedule would have recorded
+    (``"exscan(op=sum)"``, ``"reduce(op=sum,root=2)"``, …), and the
+    digests cover the original, unpacked payload/result of this rank.
+    """
+
+    op: str
+    dtype: str
+    shape: tuple
+    payload_digest: str
+    payload_nbytes: int
+    result_digest: str
+    result_nbytes: int
+
+    def describe(self) -> str:
+        """One-line human-readable rendering (manifest entry)."""
+        return (
+            f"{self.op:<28s} {self.dtype}{list(self.shape)}"
+            f" in={self.payload_nbytes}B out={self.result_nbytes}B"
+            f" result={self.result_digest}"
+        )
+
+
+@dataclass(frozen=True)
 class TraceEvent:
     """One collective call as seen by one rank."""
 
@@ -170,6 +210,9 @@ class TraceEvent:
     phase: str | None
     #: tree level active at the call (set by the induction loop)
     level: int | None
+    #: for fused collectives only: the manifest of logical collectives
+    #: this rendezvous replaced, in section order (None for plain ops)
+    fused_from: tuple | None = None
 
     def describe(self) -> str:
         """One-line human-readable rendering."""
@@ -181,8 +224,40 @@ class TraceEvent:
         meta = ""
         if self.shape is not None:
             meta = f" {self.dtype}{list(self.shape)}"
-        return (
+        out = (
             f"#{self.seq:<4d} {self.op:<28s}{meta}"
             f" in={self.payload_nbytes}B out={self.result_nbytes}B"
             f" result={self.result_digest}{where}"
         )
+        if self.fused_from:
+            out += "".join(
+                f"\n      └ {entry.describe()}" for entry in self.fused_from
+            )
+        return out
+
+
+def logical_ops(events) -> list[LogicalOp]:
+    """Expand a rank's event sequence into logical collectives.
+
+    Fused events contribute one :class:`LogicalOp` per manifest section;
+    plain events contribute themselves, converted.  The result is what a
+    run's collective schedule *means*, independent of how the fusion
+    layer packed it — fused and unfused runs of the same algorithm yield
+    the same multiset of logical ops (the differential suite asserts
+    exactly this).
+    """
+    out: list[LogicalOp] = []
+    for ev in events:
+        if ev.fused_from:
+            out.extend(ev.fused_from)
+        else:
+            out.append(LogicalOp(
+                op=ev.op,
+                dtype=ev.dtype if ev.dtype is not None else "",
+                shape=ev.shape if ev.shape is not None else (),
+                payload_digest=ev.payload_digest,
+                payload_nbytes=ev.payload_nbytes,
+                result_digest=ev.result_digest,
+                result_nbytes=ev.result_nbytes,
+            ))
+    return out

@@ -97,9 +97,14 @@ class TraceRecorder:
         self.level: int | None = None
 
     def record(self, op: str, payload: Any, result: Any,
-               wall_seconds: float, clock: float, perf: Any) -> None:
+               wall_seconds: float, clock: float, perf: Any,
+               fused_from: tuple | None = None) -> None:
         """Append one completed collective; feeds per-phase comm volume
-        into the rank's performance tracker when one is attached."""
+        into the rank's performance tracker when one is attached.
+
+        ``fused_from`` is the per-logical-op manifest supplied by the
+        fusion layer for fused rendezvous (None for plain collectives).
+        """
         kind, operator = parse_op(op)
         dtype, shape = _np_meta(payload)
         in_bytes = payload_nbytes(payload)
@@ -119,6 +124,7 @@ class TraceRecorder:
             clock=clock,
             phase=self.phase,
             level=self.level,
+            fused_from=fused_from,
         ))
         if self.phase is not None:
             add = getattr(perf, "add_phase_comm", None)

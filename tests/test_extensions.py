@@ -190,8 +190,12 @@ def test_isoefficiency_validation(iso_grid):
 # ---------------------------------------------------------------------------
 
 def test_combined_enquiry_same_tree_fewer_collectives():
+    # combined_enquiry defaults on; the per-attribute schedule is the
+    # explicit ablation
     ds = paper_dataset(2000, "F2", seed=2)
-    base = ScalParC(6, config=InductionConfig(max_depth=5)).fit(ds)
+    base = ScalParC(
+        6, config=InductionConfig(max_depth=5, combined_enquiry=False)
+    ).fit(ds)
     combined = ScalParC(
         6, config=InductionConfig(max_depth=5, combined_enquiry=True)
     ).fit(ds)
@@ -214,6 +218,12 @@ def test_combined_enquiry_serial_equivalence():
         assert got.tree.structurally_equal(ref)
 
 
-def test_combined_enquiry_conflicts_with_per_node():
-    with pytest.raises(ValueError):
-        InductionConfig(combined_enquiry=True, per_node_communication=True)
+def test_combined_enquiry_coerced_off_under_per_node():
+    # the per-node ablation un-batches what combined_enquiry batches;
+    # since combined_enquiry defaults on it is coerced off rather than
+    # making the ablation unconstructible
+    cfg = InductionConfig(per_node_communication=True)
+    assert cfg.combined_enquiry is False
+    cfg = InductionConfig(combined_enquiry=True, per_node_communication=True)
+    assert cfg.combined_enquiry is False
+    assert InductionConfig().combined_enquiry is True

@@ -12,6 +12,8 @@ Two halves:
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
@@ -28,7 +30,7 @@ from repro.runtime import (
     reduction,
     run_spmd,
 )
-from repro.runtime.tracing import TraceEvent, payload_digest
+from repro.runtime.tracing import LogicalOp, TraceEvent, payload_digest
 
 BACKENDS = [b for b in ("thread", "process", "cooperative")
             if b in available_backends()]
@@ -255,6 +257,96 @@ def test_content_checks_accumulate_across_steps():
     report = check_traces(traces)
     assert report.codes() == ("operator-mismatch", "shape-mismatch")
     assert report.checked_steps == 3
+
+
+def _logical(op="exscan(op=sum)", shape=(4,), payload=b"x", result=b"y"):
+    return LogicalOp(
+        op=op, dtype="int64", shape=shape,
+        payload_digest=payload_digest(payload), payload_nbytes=32,
+        result_digest=payload_digest(result), result_nbytes=32,
+    )
+
+
+def _fused_event(seq, sections, **kw):
+    return replace(
+        _event(seq, kind="fused_exscan",
+               op=f"fused_exscan(op=sum,n={len(sections)})",
+               operator="sum", **kw),
+        fused_from=tuple(sections),
+    )
+
+
+def _fused_lockstep(n_ranks=3):
+    sections = [_logical(), _logical(shape=(2, 2), payload=b"p")]
+    return {r: [_fused_event(0, sections)] for r in range(n_ranks)}
+
+
+def test_matching_fusion_manifests_pass():
+    report = check_traces(_fused_lockstep())
+    assert report.ok, report.summary()
+
+
+def test_corrupted_fusion_manifest_is_manifest_mismatch():
+    traces = _fused_lockstep()
+    # rank 1 claims its second section was a different logical collective
+    bad = traces[1][0].fused_from[0], _logical(op="exscan(op=max)",
+                                               shape=(2, 2), payload=b"p")
+    traces[1][0] = replace(traces[1][0], fused_from=bad)
+    report = check_traces(traces)
+    assert report.codes() == ("fusion-manifest-mismatch",)
+    diag = report.diagnostics[0]
+    assert diag.ranks == (1,) and "exscan(op=max)" in diag.message
+
+
+def test_missing_fusion_manifest_is_manifest_mismatch():
+    traces = _fused_lockstep()
+    traces[2][0] = replace(traces[2][0], fused_from=None)
+    report = check_traces(traces)
+    assert report.codes() == ("fusion-manifest-mismatch",)
+    assert "no manifest" in report.diagnostics[0].message
+
+
+def test_misaligned_section_shapes_are_manifest_mismatch():
+    traces = _fused_lockstep()
+    first = traces[0][0].fused_from
+    traces[0][0] = replace(
+        traces[0][0],
+        fused_from=(replace(first[0], shape=(9,)), first[1]),
+    )
+    report = check_traces(traces)
+    assert report.codes() == ("fusion-manifest-mismatch",)
+    assert report.diagnostics[0].ranks == (0,)
+
+
+def test_divergent_replicated_fused_section_is_result_divergence():
+    sections = [_logical(op="allreduce(op=sum)"), _logical(shape=(2, 2))]
+    traces = {r: [_fused_event(0, sections)] for r in range(3)}
+    skewed = (_logical(op="allreduce(op=sum)", result=b"corrupted"),
+              sections[1])
+    traces[1][0] = replace(traces[1][0], fused_from=skewed)
+    report = check_traces(traces)
+    assert report.codes() == ("result-divergence",)
+    diag = report.diagnostics[0]
+    assert diag.ranks == (1,) and "fused section 0" in diag.message
+
+
+def test_corrupted_manifest_in_real_fused_run_is_caught():
+    """End to end: corrupt one rank's recorded fusion manifest from a real
+    fused induction and the checker pins that rank."""
+    ds = generate_quest(300, "F2", seed=7)
+    collector = TraceCollector()
+    ScalParC(n_processors=3, machine=None).fit(ds, trace=collector)
+    assert collector.check().ok
+    events = collector.traces[1]
+    idx, ev = next((i, e) for i, e in enumerate(events) if e.fused_from)
+    doctored = (replace(ev.fused_from[0], shape=(1, 2, 3)),) \
+        + ev.fused_from[1:]
+    events[idx] = replace(ev, fused_from=doctored)
+    report = collector.check()
+    assert "fusion-manifest-mismatch" in report.codes()
+    assert all(d.ranks == (1,) for d in report.diagnostics)
+    with pytest.raises(TraceConformanceError):
+        report.raise_if_failed()
 
 
 def test_summary_lists_every_violation():
