@@ -122,7 +122,14 @@ def induce_serial(dataset: Dataset,
         n = len(idx)
 
         def as_leaf() -> Leaf:
-            return Leaf(label=int(np.argmax(counts)), n_records=n,
+            if n == 0 and parent is not None:
+                # empty child of a multiway categorical split: all-zero
+                # counts would argmax to class 0 — inherit the parent's
+                # majority instead (mirrors induce_worker)
+                label = int(np.argmax(parent.class_counts))
+            else:
+                label = int(np.argmax(counts))
+            return Leaf(label=label, n_records=n,
                         class_counts=counts.copy(), depth=depth)
 
         terminal = (

@@ -96,6 +96,18 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--distributed-source", action="store_true",
                        help="generate per-rank blocks on demand instead of "
                             "materializing the dataset (counter-based RNG)")
+    train.add_argument("--checkpoint-dir", type=Path, default=None,
+                       help="snapshot the fit at level boundaries into this "
+                            "directory; on the process backend crashed/"
+                            "timed-out fits respawn from the last snapshot "
+                            "(see also REPRO_SPMD_CHECKPOINT=<dir>)")
+    train.add_argument("--checkpoint-every", type=int, default=1,
+                       metavar="LEVELS",
+                       help="levels between snapshots (default 1)")
+    train.add_argument("--resume", action="store_true",
+                       help="resume an interrupted fit from the newest "
+                            "complete snapshot under --checkpoint-dir "
+                            "(works on a different --processors count)")
 
     gen = sub.add_parser("generate", help="materialize a Quest dataset")
     gen.add_argument("--records", type=int, required=True)
@@ -149,10 +161,25 @@ def _cmd_train(args: argparse.Namespace) -> int:
         criterion=args.criterion,
         categorical_binary_subsets=args.subset_splits,
     )
+    checkpoint = None
+    if args.resume and args.checkpoint_dir is None:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.checkpoint_dir is not None:
+        from .runtime import CheckpointConfig
+
+        checkpoint = CheckpointConfig(
+            dir=str(args.checkpoint_dir),
+            every=args.checkpoint_every,
+            resume=bool(args.resume),
+        )
     if args.serial:
         if args.trace:
             print("note: --trace has no effect with --serial "
                   "(no collectives to record)", file=sys.stderr)
+        if checkpoint is not None:
+            print("note: --checkpoint-dir has no effect with --serial",
+                  file=sys.stderr)
         if args.distributed_source:
             train_set = train_set.materialize()
         tree = induce_serial(train_set, config)
@@ -166,7 +193,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
             collector = TraceCollector()
         result = ScalParC(args.processors, config=config,
                           backend=args.backend).fit(train_set,
-                                                    trace=collector)
+                                                    trace=collector,
+                                                    checkpoint=checkpoint)
         tree, stats = result.tree, result.stats
     if args.prune:
         tree = prune_pessimistic(tree)

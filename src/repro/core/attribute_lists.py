@@ -30,7 +30,7 @@ from ..datagen.schema import AttributeSpec, Dataset
 from ..runtime import Communicator
 from ..sort import parallel_sample_sort
 
-__all__ = ["LocalAttributeList", "build_local_lists"]
+__all__ = ["LocalAttributeList", "build_local_lists", "restore_local_lists"]
 
 
 @dataclass
@@ -86,6 +86,31 @@ class LocalAttributeList:
         """Live bytes of this fragment (for the memory model)."""
         return int(self.values.nbytes + self.rids.nbytes + self.labels.nbytes
                    + self.offsets.nbytes)
+
+    def snapshot_state(self, compact: bool = True) -> dict:
+        """Picklable resume state of this fragment (checkpoint payload).
+
+        Values and labels are pure functions of the immutable training
+        set (``values == column[rids]``, ``labels == labels[rids]``), so
+        the ``compact`` snapshot stores only the permutation/partition —
+        rids (narrowed to int32 when they fit) plus the CSR offsets —
+        and the restore path re-derives the rest from the dataset.  Pass
+        ``compact=False`` when the dataset cannot serve random access by
+        record id (e.g. a distributed generate-on-demand source): the
+        snapshot then embeds values and labels verbatim.
+        """
+        rids = self.rids
+        if len(rids) and int(rids.max()) < np.iinfo(np.int32).max:
+            rids = rids.astype(np.int32)
+        state = {
+            "attr_index": self.attr_index,
+            "rids": rids,
+            "offsets": self.offsets,
+        }
+        if not compact:
+            state["values"] = self.values
+            state["labels"] = self.labels
+        return state
 
     def reorder(self, new_nodes: np.ndarray, n_next: int) -> None:
         """Regroup entries by next-level node id; drop entries with id < 0.
@@ -149,3 +174,143 @@ def build_local_lists(
         comm.perf.register_bytes(f"attr_list[{spec.name}]", alist.nbytes())
         lists.append(alist)
     return lists, n_total
+
+
+def _hydrate_fragment(
+    frag: dict, dataset: Dataset, attr_index: int, spec: AttributeSpec
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(values, rids, labels) of one snapshot fragment.
+
+    Compact snapshots carry only rids; values and labels are gathered
+    from the dataset by record id — bit-identical to the arrays the
+    original run held, because both are elementwise reads of the same
+    immutable columns.
+    """
+    rids = np.asarray(frag["rids"]).astype(np.int64, copy=False)
+    if "values" in frag:
+        return (np.asarray(frag["values"]), rids,
+                np.asarray(frag["labels"]).astype(np.int64, copy=False))
+    dtype = np.float64 if spec.is_continuous else np.int32
+    values = np.asarray(dataset.columns[attr_index])[rids].astype(
+        dtype, copy=False
+    )
+    labels = np.asarray(dataset.labels)[rids].astype(np.int64, copy=False)
+    return values, rids, labels
+
+
+def _reshard_one_attribute(
+    spec: AttributeSpec,
+    attr_index: int,
+    fragments: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]],
+    rank: int,
+    size: int,
+) -> LocalAttributeList:
+    """Re-block one attribute's list from old per-rank fragments onto the
+    new world: concatenate each node's segments in old-rank order (which
+    by the sorted-order invariant reconstructs the node-major *global*
+    list), then take contiguous ⌈L/p′⌉ chunks."""
+    m = max(len(offsets) - 1 for (_v, _r, _l, offsets) in fragments)
+    per_node_values: list[list[np.ndarray]] = [[] for _ in range(m)]
+    per_node_rids: list[list[np.ndarray]] = [[] for _ in range(m)]
+    per_node_labels: list[list[np.ndarray]] = [[] for _ in range(m)]
+    for values, rids, labels, offsets in fragments:
+        for k in range(len(offsets) - 1):
+            lo, hi = int(offsets[k]), int(offsets[k + 1])
+            if hi > lo:
+                per_node_values[k].append(values[lo:hi])
+                per_node_rids[k].append(rids[lo:hi])
+                per_node_labels[k].append(labels[lo:hi])
+
+    node_sizes = np.array(
+        [sum(len(part) for part in parts) for parts in per_node_values],
+        dtype=np.int64,
+    )
+    total = int(node_sizes.sum())
+    chunk = -(-total // size) if total else 0
+    lo = min(rank * chunk, total)
+    hi = min(lo + chunk, total)
+
+    if hi > lo:
+        g_values = np.concatenate(
+            [part for parts in per_node_values for part in parts]
+        )[lo:hi]
+        g_rids = np.concatenate(
+            [part for parts in per_node_rids for part in parts]
+        )[lo:hi]
+        g_labels = np.concatenate(
+            [part for parts in per_node_labels for part in parts]
+        )[lo:hi]
+        node_of = np.repeat(np.arange(m, dtype=np.int64), node_sizes)[lo:hi]
+        counts = np.bincount(node_of, minlength=m)
+    else:
+        g_values = np.empty(0, dtype=fragments[0][0].dtype)
+        g_rids = np.empty(0, dtype=np.int64)
+        g_labels = np.empty(0, dtype=np.int64)
+        counts = np.zeros(m, dtype=np.int64)
+
+    return LocalAttributeList(
+        spec=spec,
+        attr_index=attr_index,
+        values=g_values,
+        rids=g_rids,
+        labels=g_labels,
+        offsets=np.concatenate(([0], np.cumsum(counts, dtype=np.int64))),
+    )
+
+
+def restore_local_lists(
+    comm: Communicator,
+    dataset: Dataset,
+    per_rank_states: list[list[dict]],
+) -> list[LocalAttributeList]:
+    """Rebuild this rank's attribute lists from checkpoint snapshots.
+
+    ``per_rank_states`` holds every old rank's list snapshots
+    (old-rank order; one :meth:`LocalAttributeList.snapshot_state` dict
+    per attribute).  Compact snapshots are hydrated from ``dataset`` by
+    record id.  When the old world size equals ``comm.size`` the rank's
+    own fragments are restored verbatim; otherwise each list is
+    re-blocked ⌈L/p′⌉ from the reconstructed global order — valid
+    because any contiguous re-chunking of the node-major global order
+    preserves the segment invariants, so the resumed induction is
+    bit-identical either way.
+    """
+    if not per_rank_states:
+        raise ValueError("need at least one rank's list snapshots")
+    n_attrs = len(per_rank_states[0])
+    if any(len(states) != n_attrs for states in per_rank_states):
+        raise ValueError("list snapshots disagree on attribute count")
+    schema = dataset.schema
+    if len(schema) != n_attrs:
+        raise ValueError(
+            f"checkpoint has {n_attrs} attribute lists but the dataset "
+            f"schema has {len(schema)}"
+        )
+
+    lists: list[LocalAttributeList] = []
+    for a, spec in enumerate(schema):
+        fragments = [states[a] for states in per_rank_states]
+        if any(int(frag["attr_index"]) != a for frag in fragments):
+            raise ValueError("list snapshots are not in schema order")
+        if len(per_rank_states) == comm.size:
+            frag = fragments[comm.rank]
+            values, rids, labels = _hydrate_fragment(frag, dataset, a, spec)
+            alist = LocalAttributeList(
+                spec=spec,
+                attr_index=a,
+                values=values,
+                rids=rids,
+                labels=labels,
+                offsets=np.asarray(frag["offsets"]),
+            )
+        else:
+            alist = _reshard_one_attribute(
+                spec, a,
+                [(*_hydrate_fragment(frag, dataset, a, spec),
+                  np.asarray(frag["offsets"]))
+                 for frag in fragments],
+                comm.rank, comm.size,
+            )
+        comm.perf.register_bytes(f"attr_list[{spec.name}]", alist.nbytes())
+        lists.append(alist)
+    return lists

@@ -74,7 +74,8 @@ class ScalParC:
         self.machine = machine
         self.backend = backend if backend is not None else self.config.backend
 
-    def fit(self, dataset: Dataset, trace: object | None = None) -> FitResult:
+    def fit(self, dataset: Dataset, trace: object | None = None,
+            checkpoint: object | None = None) -> FitResult:
         """Induce a decision tree from ``dataset`` on the simulated
         machine; returns the tree plus the priced run statistics.
 
@@ -82,21 +83,32 @@ class ScalParC:
         :class:`~repro.runtime.tracing.TraceCollector` (or ``True``) to
         record every rank's collective calls for conformance checking and
         phase-volume reporting; ``None`` defers to ``REPRO_SPMD_TRACE``.
+
+        ``checkpoint`` accepts a
+        :class:`~repro.runtime.checkpoint.CheckpointConfig` (or a bare
+        directory path) to snapshot the fit at level boundaries and —
+        on the process backend — transparently respawn it from the last
+        snapshot after rank death or timeout; ``None`` defers to
+        ``config.checkpoint``, then ``REPRO_SPMD_CHECKPOINT``.  A config
+        with ``resume`` set continues an interrupted fit instead of
+        starting over.
         """
+        if checkpoint is None:
+            checkpoint = self.config.checkpoint
         if self.machine is not None:
             perf = PerfRun(self.n_processors, self.machine)
             trees = run_spmd(
                 self.n_processors, induce_worker,
                 args=(dataset, self.config),
                 observer=perf, rank_perf=perf.trackers,
-                backend=self.backend, trace=trace,
+                backend=self.backend, trace=trace, checkpoint=checkpoint,
             )
             stats = perf.stats()
         else:
             trees = run_spmd(
                 self.n_processors, induce_worker,
                 args=(dataset, self.config), backend=self.backend,
-                trace=trace,
+                trace=trace, checkpoint=checkpoint,
             )
             stats = None
         return FitResult(tree=trees[0], stats=stats,
@@ -110,8 +122,9 @@ def fit_scalparc(
     machine: MachineSpec | None = CRAY_T3D,
     backend: str | None = None,
     trace: object | None = None,
+    checkpoint: object | None = None,
 ) -> FitResult:
     """Functional one-liner around :class:`ScalParC`."""
     return ScalParC(n_processors, config, machine, backend=backend).fit(
-        dataset, trace=trace,
+        dataset, trace=trace, checkpoint=checkpoint,
     )

@@ -67,6 +67,14 @@ class InductionConfig:
         ``"process"``, ``"cooperative"``, or ``None`` to defer to the
         ``REPRO_SPMD_BACKEND`` environment variable (default thread).
         The induced tree is backend-independent.  Parallel only.
+    checkpoint:
+        Level-boundary checkpointing (see
+        :mod:`repro.runtime.checkpoint`): a
+        :class:`~repro.runtime.checkpoint.CheckpointConfig`, a bare
+        directory path, or ``None`` to defer to the ``checkpoint=``
+        argument of :meth:`ScalParC.fit` and then the
+        ``REPRO_SPMD_CHECKPOINT`` environment variable.  Never changes
+        the induced tree.  Parallel only.
     """
 
     max_depth: int | None = None
@@ -81,8 +89,20 @@ class InductionConfig:
     combined_enquiry: bool = True
     fused_collectives: bool = True
     backend: str | None = None
+    checkpoint: object | None = None
 
     def __post_init__(self):
+        if self.checkpoint is not None:
+            import os
+
+            from ..runtime.checkpoint import CheckpointConfig
+
+            if not isinstance(self.checkpoint,
+                              (CheckpointConfig, str, os.PathLike)):
+                raise TypeError(
+                    "checkpoint must be a CheckpointConfig, a directory "
+                    f"path or None, got {type(self.checkpoint).__name__}"
+                )
         if self.backend is not None:
             from ..runtime import available_backends
 

@@ -117,7 +117,9 @@ def _finish_continuous(
     out = pack_candidates(totals.shape[0])
     if alist.n_local == 0:
         return out
-    with timed_phase(comm.perf, FINDSPLIT2):
+    # enter the phase through the communicator (not the bare tracker) so
+    # the collective tracer stamps the scan's region as FindSplitII too
+    with timed_phase(comm, FINDSPLIT2):
         return _scan_candidates(
             comm, alist, totals, candidate_nodes, config, out,
             below, pred[:, 0] > 0, pred[:, 1], seg_sizes,

@@ -19,11 +19,21 @@ copies (and the serial reference's tree) are structurally equal.
 
 from __future__ import annotations
 
+import pickle
+
 import numpy as np
 
-from ..datagen.schema import Dataset
+from ..datagen.schema import Dataset, Schema
 from ..runtime import Communicator
+from ..runtime.checkpoint import (
+    CheckpointConfig,
+    CheckpointError,
+    LevelCheckpointer,
+    LoadedCheckpoint,
+    resolve_checkpoint,
+)
 from ..runtime.tracing import tag_level
+from ..runtime.tracing.events import payload_digest
 from ..tree.model import (
     CategoricalSplit,
     ContinuousSplit,
@@ -31,7 +41,7 @@ from ..tree.model import (
     Leaf,
     TreeNode,
 )
-from .attribute_lists import build_local_lists
+from .attribute_lists import build_local_lists, restore_local_lists
 from .config import InductionConfig
 from .criteria import impurity
 from .findsplit import (
@@ -47,12 +57,61 @@ from .splitter import LevelDecisions, ScalParCSplitPhase, SplitPhase
 
 __all__ = ["induce_worker"]
 
+#: manifest tag identifying induction checkpoints (vs. other workers')
+_CKPT_ALGO = "scalparc-induction"
+
+
+def _schema_fingerprint(schema: Schema) -> str:
+    """Content digest of the tree-shaping dataset shape (same digest
+    family as the collective tracer, so it is stable across processes)."""
+    return payload_digest([
+        int(schema.n_classes),
+        [(spec.name, bool(spec.is_continuous), int(spec.n_values))
+         for spec in schema],
+    ])
+
+
+def _config_fingerprint(config: InductionConfig) -> str:
+    """Digest of the knobs that shape the induced tree (communication
+    scheduling knobs are free to differ between the original run and a
+    resume — they never change the tree)."""
+    return payload_digest([
+        config.max_depth, config.min_split_records,
+        float(config.min_improvement), config.criterion,
+        config.categorical_binary_subsets, config.subset_exhaustive_limit,
+    ])
+
+
+def _rank_extras(comm: Communicator) -> dict:
+    """Best-effort per-rank runtime state (tracker + RNG) for a cut."""
+    perf = comm.perf
+    try:
+        pickle.dumps(perf)
+    except Exception:
+        perf = None
+    return {"perf": perf, "rng": np.random.get_state()}
+
+
+def _restore_rank_extras(comm: Communicator, payload: dict) -> None:
+    """Restore tracker clock/counters and RNG saved by the same rank of
+    an equal-size run (skipped entirely on p → p′ resume)."""
+    perf = payload.get("perf")
+    if perf is not None and type(perf).__name__ == type(comm.perf).__name__:
+        try:
+            vars(comm.perf).update(vars(perf))
+        except TypeError:
+            pass
+    rng = payload.get("rng")
+    if rng is not None:
+        np.random.set_state(rng)
+
 
 def induce_worker(
     comm: Communicator,
     dataset: Dataset,
     config: InductionConfig | None = None,
     split_phase: SplitPhase | None = None,
+    checkpoint: CheckpointConfig | str | None = None,
 ) -> DecisionTree:
     """SPMD worker: induce the decision tree for ``dataset`` collectively.
 
@@ -60,6 +119,14 @@ def induce_worker(
     identical on every rank.  ``split_phase`` selects the splitting-phase
     strategy (default: ScalParC's distributed node table; the parallel
     SPRINT baseline plugs in its replicated table here).
+
+    ``checkpoint`` enables level-boundary checkpointing (a
+    :class:`~repro.runtime.checkpoint.CheckpointConfig`, a directory
+    path, or ``None`` to defer to ``REPRO_SPMD_CHECKPOINT``).  With
+    ``resume`` set in the config, induction skips Presort and continues
+    from the cut's frontier — on the checkpoint's world size or a
+    different one (attribute lists and node table are re-blocked), with
+    a bit-identical resulting tree either way.
     """
     config = config or InductionConfig()
     split_phase = split_phase if split_phase is not None \
@@ -71,10 +138,9 @@ def induce_worker(
     schema = dataset.schema
     n_classes = schema.n_classes
 
-    # Presort + initial distribution
-    with timed_phase(comm, PRESORT):
-        lists, n_total = build_local_lists(comm, dataset)
-        split_phase.setup(comm, n_total)
+    ckpt_cfg = resolve_checkpoint(checkpoint)
+    ckpt = LevelCheckpointer(ckpt_cfg) if ckpt_cfg is not None else None
+    resume_src = ckpt_cfg.resume_source() if ckpt_cfg is not None else None
 
     root_holder: list[TreeNode | None] = [None]
 
@@ -84,9 +150,18 @@ def induce_worker(
         else:
             parent.children[slot] = node
 
-    # pending[k] = (parent node, child slot, depth) of active node k
-    pending: list[tuple[TreeNode | None, int, int]] = [(None, 0, 0)]
-    level = 0
+    if resume_src is not None:
+        lists, n_total, pending, level = _resume_from_checkpoint(
+            comm, resume_src, dataset, config, split_phase, root_holder
+        )
+    else:
+        # Presort + initial distribution
+        with timed_phase(comm, PRESORT):
+            lists, n_total = build_local_lists(comm, dataset)
+            split_phase.setup(comm, n_total)
+        # pending[k] = (parent node, child slot, depth) of active node k
+        pending = [(None, 0, 0)]
+        level = 0
 
     while pending:
         m = len(pending)
@@ -172,8 +247,16 @@ def induce_worker(
             parent, slot, depth = pending[k]
             counts_k = totals[k]
             if not split_ok[k]:
+                if int(n_node[k]) == 0 and parent is not None:
+                    # an empty child (a multiway categorical value with no
+                    # records at this node) has all-zero counts: argmax
+                    # would always say class 0 — inherit the parent's
+                    # majority instead
+                    label = int(np.argmax(parent.class_counts))
+                else:
+                    label = int(np.argmax(counts_k))
                 attach(
-                    Leaf(label=int(np.argmax(counts_k)),
+                    Leaf(label=label,
                          n_records=int(n_node[k]),
                          class_counts=counts_k.copy(), depth=depth),
                     parent, slot,
@@ -221,5 +304,112 @@ def induce_worker(
         comm.perf.mark_level(level)
         level += 1
 
+        # Records still in play next level = everything inside splitting
+        # nodes.  Once that drops below min_frontier_frac of the training
+        # set, cuts cost more (the partial tree keeps growing) than the
+        # cheap tail levels they would protect, so stop taking them.
+        n_active = int(n_node[split_ok].sum())
+        if (ckpt is not None and pending and ckpt.should_save(level - 1)
+                and n_active >= ckpt.config.min_frontier_frac * n_total):
+            _save_checkpoint(comm, ckpt, level, lists, split_phase,
+                             root_holder[0], pending, n_total, dataset,
+                             config)
+
+    if ckpt is not None:
+        ckpt.finalize(comm)   # drain pipelined writes; seal the last cut
     assert root_holder[0] is not None
     return DecisionTree(schema=schema, root=root_holder[0])
+
+
+def _save_checkpoint(
+    comm: Communicator,
+    ckpt: LevelCheckpointer,
+    level: int,
+    lists,
+    split_phase: SplitPhase,
+    root: TreeNode | None,
+    pending,
+    n_total: int,
+    dataset: Dataset,
+    config: InductionConfig,
+) -> None:
+    """Write one consistent cut at a level boundary (collective).
+
+    The per-rank payload carries everything distribution-dependent
+    (attribute-list fragments, the split strategy's table share, tracker
+    and RNG state); the replicated payload carries the partial tree and
+    the pending frontier — one pickle, so the frontier's parent
+    references resolve into the same tree object graph on load.
+
+    List snapshots are *compact* (rids + offsets only; values and labels
+    re-derived from the dataset on resume) whenever the dataset holds
+    materialized columns; generate-on-demand sources cannot serve random
+    access by record id, so their snapshots embed the arrays verbatim.
+    """
+    compact = getattr(dataset, "columns", None) is not None
+    rank_payload = {
+        "lists": [alist.snapshot_state(compact=compact) for alist in lists],
+        "split_phase": split_phase.snapshot_state(),
+        **_rank_extras(comm),
+    }
+    shared_payload = {
+        "algo": _CKPT_ALGO,
+        "n_total": int(n_total),
+        "schema": _schema_fingerprint(dataset.schema),
+        "config": _config_fingerprint(config),
+        "tree": (root, list(pending)),
+    }
+    ckpt.save(comm, level, rank_payload, shared_payload,
+              meta={"algo": _CKPT_ALGO, "n_total": int(n_total),
+                    "n_pending": len(pending)})
+
+
+def _resume_from_checkpoint(
+    comm: Communicator,
+    source: str,
+    dataset: Dataset,
+    config: InductionConfig,
+    split_phase: SplitPhase,
+    root_holder: list,
+) -> tuple[list, int, list, int]:
+    """Reload a cut and return ``(lists, n_total, pending, level)``.
+
+    Every rank reads all old ranks' payloads (digest-validated), so the
+    p == p′ fast path and the p → p′ re-blocked path share one code
+    path; tracker/RNG state is restored only when the world size
+    matches (it is meaningless per-rank otherwise).
+    """
+    loaded = LoadedCheckpoint.open(source)
+    shared = loaded.shared_payload()
+    if shared.get("algo") != _CKPT_ALGO:
+        raise CheckpointError(
+            f"checkpoint {loaded.manifest_path!r} was not written by the "
+            f"induction driver (algo={shared.get('algo')!r})"
+        )
+    if int(shared["n_total"]) != dataset.n_records:
+        raise CheckpointError(
+            f"checkpoint holds {shared['n_total']} records but the dataset "
+            f"has {dataset.n_records}; resume needs the same training set"
+        )
+    if shared["schema"] != _schema_fingerprint(dataset.schema):
+        raise CheckpointError(
+            "checkpoint schema does not match the dataset's; resume needs "
+            "the same training set"
+        )
+    if shared["config"] != _config_fingerprint(config):
+        raise CheckpointError(
+            "checkpoint was written under different tree-shaping settings; "
+            "resume with the original InductionConfig"
+        )
+
+    payloads = loaded.all_rank_payloads()
+    lists = restore_local_lists(
+        comm, dataset, [p["lists"] for p in payloads]
+    )
+    split_phase.restore_state(comm, [p["split_phase"] for p in payloads])
+    if loaded.n_ranks == comm.size:
+        _restore_rank_extras(comm, payloads[comm.rank])
+
+    root, pending = shared["tree"]
+    root_holder[0] = root
+    return lists, int(shared["n_total"]), list(pending), loaded.level

@@ -48,9 +48,42 @@ class LevelDecisions:
     #: node → value_to_child array (categorical winners only)
     cat_layouts: dict[int, np.ndarray] = field(default_factory=dict)
     #: first next-level node id of each splitting node's children
-    child_base: np.ndarray = None
+    #: (required whenever any node splits)
+    child_base: np.ndarray | None = None
     #: total number of next-level nodes
     n_next: int = 0
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on malformed decisions (wrong-length
+        arrays, a splitting level without ``child_base``/``n_next``, a
+        categorical winner without its layout) *before* the splitting
+        phase dereferences them deep inside ``_local_children``."""
+        m = len(self.splitting)
+        for name in ("winner_attr", "threshold"):
+            arr = getattr(self, name)
+            if arr is None or len(arr) != m:
+                raise ValueError(
+                    f"malformed LevelDecisions: {name} must align with "
+                    f"splitting ({m} nodes), got "
+                    f"{'None' if arr is None else len(arr)}"
+                )
+        if not bool(np.asarray(self.splitting).any()):
+            return
+        if self.child_base is None:
+            raise ValueError(
+                "malformed LevelDecisions: child_base is required when any "
+                "node splits"
+            )
+        if len(self.child_base) != m:
+            raise ValueError(
+                f"malformed LevelDecisions: child_base must align with "
+                f"splitting ({m} nodes), got {len(self.child_base)}"
+            )
+        if self.n_next <= 0:
+            raise ValueError(
+                "malformed LevelDecisions: n_next must be positive when any "
+                "node splits"
+            )
 
 
 def _local_children(
@@ -113,6 +146,7 @@ def perform_split(
     On return, every attribute list is regrouped by next-level node and
     entries of terminal nodes are dropped.
     """
+    decisions.validate()
     m = len(decisions.splitting)
     if config.per_node_communication:
         node_batches = [
@@ -227,6 +261,23 @@ class SplitPhase:
         """Collective PerformSplitI+II for one level."""
         raise NotImplementedError
 
+    def snapshot_state(self) -> dict:
+        """This rank's picklable share of the strategy's state, for the
+        level checkpointer.  Strategies that do not override this cannot
+        be checkpointed."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support checkpointing "
+            f"(snapshot_state is not implemented)"
+        )
+
+    def restore_state(self, comm: Communicator, states: list[dict]) -> None:
+        """Collectively rebuild the strategy's state from per-old-rank
+        snapshots (old-rank order; the old world size may differ)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support checkpointing "
+            f"(restore_state is not implemented)"
+        )
+
 
 class ScalParCSplitPhase(SplitPhase):
     """The paper's splitting phase: distributed node table + parallel
@@ -241,3 +292,10 @@ class ScalParCSplitPhase(SplitPhase):
     def execute(self, comm, lists, decisions, config) -> None:
         assert self.table is not None, "setup() must run before execute()"
         perform_split(comm, lists, self.table, decisions, config)
+
+    def snapshot_state(self) -> dict:
+        assert self.table is not None, "setup() must run before snapshot"
+        return self.table.snapshot_state()
+
+    def restore_state(self, comm, states) -> None:
+        self.table = DistributedNodeTable.from_snapshots(comm, states)

@@ -121,6 +121,59 @@ class DistributedNodeTable:
         )
         return out.astype(np.int32, copy=False)
 
+    # -- checkpoint support ---------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """This rank's picklable share of the table (checkpoint payload)."""
+        return {
+            "total_keys": self.total_keys,
+            "local_start": self.local_start,
+            "local": self.local.copy(),
+        }
+
+    @classmethod
+    def from_snapshots(cls, comm: Communicator,
+                       states: list[dict]) -> "DistributedNodeTable":
+        """Rebuild the table collectively from per-rank snapshots.
+
+        ``states`` are snapshots from a previous run, in old-rank order;
+        the old world size need not match ``comm.size``.  When a rank's
+        new ⌈N/p′⌉ block is covered by a single snapshot (the p == p′
+        fast path) only that snapshot is needed; otherwise every rank
+        passes all old snapshots and the global array is re-blocked.
+        """
+        if not states:
+            raise ValueError("need at least one table snapshot")
+        total = int(states[0]["total_keys"])
+        if any(int(s["total_keys"]) != total for s in states):
+            raise ValueError("table snapshots disagree on total_keys")
+        table = cls(comm, total)
+        n_local = len(table.local)
+        if n_local == 0:
+            return table
+        for state in states:
+            if int(state["local_start"]) == table.local_start \
+                    and len(state["local"]) == n_local:
+                table.local[:] = state["local"]
+                return table
+        covered = np.zeros(n_local, dtype=bool)
+        for state in states:
+            start = int(state["local_start"])
+            values = np.asarray(state["local"], dtype=np.int32)
+            lo = max(start, table.local_start)
+            hi = min(start + len(values), table.local_start + n_local)
+            if hi <= lo:
+                continue
+            dst = slice(lo - table.local_start, hi - table.local_start)
+            table.local[dst] = values[lo - start:hi - start]
+            covered[dst] = True
+        if not covered.all():
+            raise ValueError(
+                "table snapshots do not cover this rank's block; pass every "
+                "old rank's snapshot when resuming on a different world size"
+            )
+        return table
+
     # -- local access (tests / owners) ---------------------------------------
 
     def local_slice(self) -> np.ndarray:

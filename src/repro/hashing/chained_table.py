@@ -121,6 +121,50 @@ class DistributedChainedHashTable:
         exchange_update(self.comm, self._dest_of(keys), keys,
                         np.zeros(len(keys), dtype=np.int64), apply_fn)
 
+    # -- checkpoint support ------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """This rank's picklable share of the table (checkpoint payload)."""
+        items = self.local_items()
+        return {
+            "n_slots": self.n_slots,
+            "missing": self.missing,
+            "keys": np.array([k for k, _v in items], dtype=np.int64),
+            "values": np.array([v for _k, v in items], dtype=np.int64),
+        }
+
+    @classmethod
+    def from_snapshots(cls, comm: Communicator,
+                       states: list[dict]) -> "DistributedChainedHashTable":
+        """Rebuild the table from per-rank snapshots, re-homing every
+        chain entry by the *new* world size's hash blocking.
+
+        Unlike the collision-free node table, key ownership here depends
+        on ``⌈n_slots/p⌉``, so every rank must pass all old snapshots
+        regardless of whether the world size changed; each rank keeps
+        exactly the entries the new blocking assigns to it (purely
+        local, no collectives).
+        """
+        if not states:
+            raise ValueError("need at least one table snapshot")
+        n_slots = int(states[0]["n_slots"])
+        missing = int(states[0]["missing"])
+        if any(int(s["n_slots"]) != n_slots or int(s["missing"]) != missing
+               for s in states):
+            raise ValueError("table snapshots disagree on n_slots/missing")
+        table = cls(comm, n_slots, missing=missing)
+        for state in states:
+            keys = np.asarray(state["keys"], dtype=np.int64)
+            if len(keys) == 0:
+                continue
+            values = np.asarray(state["values"], dtype=np.int64)
+            mine = table._dest_of(keys) == comm.rank
+            slots = multiplicative_hash(keys[mine], n_slots) % table.chunk
+            for slot, key, value in zip(slots.tolist(), keys[mine].tolist(),
+                                        values[mine].tolist()):
+                table._chains.setdefault(slot, {})[key] = value
+        return table
+
     # -- local introspection ----------------------------------------------
 
     def local_items(self) -> list[tuple[int, int]]:

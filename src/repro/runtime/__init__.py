@@ -26,6 +26,15 @@ Quick use::
 """
 
 from . import reduction
+from .checkpoint import (
+    CHECKPOINT_ENV,
+    CheckpointConfig,
+    CheckpointError,
+    LevelCheckpointer,
+    LoadedCheckpoint,
+    latest_manifest,
+    resolve_checkpoint,
+)
 from .communicator import ANY_TAG, Communicator, NullPerf, Request
 from .engines import (
     DEFAULT_BACKEND,
@@ -77,6 +86,13 @@ from .tracing import (
 
 __all__ = [
     "ANY_TAG",
+    "CHECKPOINT_ENV",
+    "CheckpointConfig",
+    "CheckpointError",
+    "LevelCheckpointer",
+    "LoadedCheckpoint",
+    "latest_manifest",
+    "resolve_checkpoint",
     "CollectiveAbortedError",
     "CollectiveMismatchError",
     "CommObserver",

@@ -25,6 +25,7 @@ never touched by thread-only runs.
 
 from __future__ import annotations
 
+import inspect
 import os
 from abc import ABC, abstractmethod
 from typing import Any, Callable, Sequence
@@ -112,10 +113,17 @@ class SpmdEngine(ABC):
         rank_perf: Sequence[Any] | None = None,
         timeout: float | None = None,
         trace: Any | None = None,
+        checkpoint: Any | None = None,
     ) -> list:
         """Execute ``worker(comm, *args, **kwargs)`` on ``size`` ranks and
         return the per-rank results in rank order; raise
         :class:`~repro.runtime.errors.SpmdWorkerError` if any rank failed.
+
+        ``checkpoint`` is an optional
+        :class:`~repro.runtime.checkpoint.CheckpointConfig` the dispatcher
+        has already threaded into the worker's kwargs; engines that
+        support supervised retry (the process backend) use it to respawn
+        a crashed job from its last manifest, others may ignore it.
 
         ``trace`` is an optional
         :class:`~repro.runtime.tracing.TraceCollector`: the engine must
@@ -167,6 +175,23 @@ def get_engine(name: str | None = None) -> SpmdEngine:
     return engine
 
 
+def _worker_accepts_checkpoint(worker: Callable[..., Any]) -> bool:
+    """True when ``worker`` can receive a ``checkpoint=`` keyword."""
+    try:
+        sig = inspect.signature(worker)
+    except (TypeError, ValueError):
+        return False
+    for param in sig.parameters.values():
+        if param.kind is inspect.Parameter.VAR_KEYWORD:
+            return True
+        if param.name == "checkpoint" and param.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        ):
+            return True
+    return False
+
+
 def run_spmd(
     size: int,
     worker: Callable[..., Any],
@@ -178,6 +203,7 @@ def run_spmd(
     backend: str | None = None,
     timeout: float | None = None,
     trace: Any | None = None,
+    checkpoint: Any | None = None,
 ) -> list:
     """Run ``worker(comm, *args, **kwargs)`` on ``size`` logical ranks.
 
@@ -216,6 +242,16 @@ def run_spmd(
         job itself and raises
         :class:`~repro.runtime.tracing.TraceConformanceError` on
         divergence.
+    checkpoint:
+        Level-checkpointing control: a
+        :class:`~repro.runtime.checkpoint.CheckpointConfig`, a directory
+        path (default policy), or ``None`` to defer to the
+        ``REPRO_SPMD_CHECKPOINT`` environment variable.  The resolved
+        config is passed to the worker as a ``checkpoint=`` keyword (the
+        worker must accept one — when only the env var asked for
+        checkpointing, workers without the keyword silently run without
+        it) and to the engine, whose supervised retry (process backend)
+        respawns crashed/timed-out jobs from the last manifest.
 
     Returns
     -------
@@ -232,13 +268,28 @@ def run_spmd(
         raise ValueError(f"size must be positive, got {size}")
     if rank_perf is not None and len(rank_perf) != size:
         raise ValueError("rank_perf must supply one tracker per rank")
+    from ..checkpoint import resolve_checkpoint
     from ..tracing import resolve_trace
+    ckpt_cfg = resolve_checkpoint(checkpoint)
+    if ckpt_cfg is not None:
+        if _worker_accepts_checkpoint(worker):
+            kwargs = dict(kwargs or {})
+            kwargs.setdefault("checkpoint", ckpt_cfg)
+        elif checkpoint is not None:
+            raise TypeError(
+                f"checkpoint= was given but worker "
+                f"{getattr(worker, '__name__', worker)!r} does not accept a "
+                f"'checkpoint' keyword"
+            )
+        else:
+            ckpt_cfg = None     # env-enabled, but this worker can't resume
     collector, auto_check = resolve_trace(trace)
     results = get_engine(backend).run(
         size, worker, args, kwargs,
         observer=observer, rank_perf=rank_perf,
         timeout=resolve_timeout(timeout),
         trace=collector,
+        checkpoint=ckpt_cfg,
     )
     if auto_check and collector is not None:
         collector.check().raise_if_failed()

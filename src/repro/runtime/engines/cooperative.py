@@ -394,6 +394,7 @@ class CooperativeEngine(SpmdEngine):
         rank_perf: Sequence[Any] | None = None,
         timeout: float | None = None,   # unused: deadlocks are structural
         trace: Any | None = None,
+        checkpoint: Any | None = None,  # write path only; no retry
     ) -> list:
         if size <= 0:
             raise ValueError(f"size must be positive, got {size}")

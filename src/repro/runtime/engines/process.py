@@ -63,12 +63,20 @@ import multiprocessing
 import multiprocessing.connection
 import os
 import pickle
+import random
+import sys
 import time
 import traceback
 from collections import deque
 from multiprocessing.reduction import ForkingPickler
 from typing import Any, Callable, Sequence
 
+from ..checkpoint import (
+    CheckpointConfig,
+    latest_manifest,
+    shrink_size,
+    with_resume,
+)
 from ..communicator import ANY_TAG, Communicator
 from ..errors import (
     CollectiveAbortedError,
@@ -872,8 +880,29 @@ class _Router:
         return sorted(n for names in self.shm_owned.values() for n in names)
 
 
+def _is_recoverable(err: SpmdWorkerError) -> bool:
+    """True when every failure is a rank death or an abort echo — i.e.
+    no worker raised an exception of its own, so respawning from a
+    checkpoint can plausibly succeed (a deterministic worker bug would
+    just recur)."""
+    return all(
+        isinstance(e, (CollectiveAbortedError, WorkerCrashError))
+        for e in err.failures.values()
+    )
+
+
 class ProcessEngine(SpmdEngine):
-    """Runs ranks as OS processes coordinated by an in-parent router."""
+    """Runs ranks as OS processes coordinated by an in-parent router.
+
+    With a :class:`~repro.runtime.checkpoint.CheckpointConfig` the engine
+    additionally acts as a *retry supervisor*: when a job dies of rank
+    death or pipe timeout (never of a worker-raised exception) and a
+    complete checkpoint manifest exists, the workers are respawned — with
+    exponential, jittered backoff — resuming from that manifest.  From
+    the second restart on, an elastic config halves the world size per
+    attempt (p → p′ re-sharding on resume), so a persistently failing
+    rank degrades the job instead of killing it.
+    """
 
     name = "process"
     detects_deadlock = False
@@ -881,6 +910,9 @@ class ProcessEngine(SpmdEngine):
     #: diagnostic: shm segment names of the most recent job on this engine
     #: (all unlinked by the time ``run`` returns); tests assert cleanup here
     last_shm_segments: tuple[str, ...] = ()
+
+    #: diagnostic: (attempt, size) of every run the most recent job made
+    last_attempts: tuple[tuple[int, int], ...] = ()
 
     def run(
         self,
@@ -893,11 +925,69 @@ class ProcessEngine(SpmdEngine):
         rank_perf: Sequence[Any] | None = None,
         timeout: float | None = None,
         trace: Any | None = None,
+        checkpoint: Any | None = None,
     ) -> list:
         if size <= 0:
             raise ValueError(f"size must be positive, got {size}")
         if rank_perf is not None and len(rank_perf) != size:
             raise ValueError("rank_perf must supply one tracker per rank")
+        kwargs = dict(kwargs or {})
+        timeout = resolve_timeout(timeout)
+        cfg = checkpoint if isinstance(checkpoint, CheckpointConfig) else None
+        if cfg is None and isinstance(kwargs.get("checkpoint"),
+                                      CheckpointConfig):
+            cfg = kwargs["checkpoint"]
+
+        cur_size = size
+        attempt = 0
+        attempts: list[tuple[int, int]] = []
+        while True:
+            attempts.append((attempt, cur_size))
+            type(self).last_attempts = tuple(attempts)
+            try:
+                return self._run_once(
+                    cur_size, worker, args, kwargs,
+                    observer=observer,
+                    rank_perf=rank_perf[:cur_size]
+                    if rank_perf is not None else None,
+                    timeout=timeout, trace=trace,
+                )
+            except SpmdWorkerError as err:
+                if cfg is None or attempt >= cfg.max_restarts \
+                        or not _is_recoverable(err):
+                    raise
+                manifest = latest_manifest(cfg.dir)
+                if manifest is None:
+                    raise               # nothing to resume from
+                attempt += 1
+                if cfg.elastic and attempt >= 2:
+                    cur_size = shrink_size(cur_size, cfg)
+                delay = min(cfg.backoff_cap,
+                            cfg.backoff_base * 2 ** (attempt - 1))
+                if delay > 0 and cfg.jitter:
+                    delay *= 1 + cfg.jitter * (2 * random.random() - 1)
+                print(
+                    f"repro.runtime: job failed ({err}); restart "
+                    f"{attempt}/{cfg.max_restarts} on {cur_size} rank(s) "
+                    f"from {manifest} in {delay:.2f}s",
+                    file=sys.stderr,
+                )
+                if delay > 0:
+                    time.sleep(delay)
+                kwargs = {**kwargs, "checkpoint": with_resume(cfg, manifest)}
+
+    def _run_once(
+        self,
+        size: int,
+        worker: Callable[..., Any],
+        args: Sequence[Any] = (),
+        kwargs: dict | None = None,
+        *,
+        observer: Any | None = None,
+        rank_perf: Sequence[Any] | None = None,
+        timeout: float | None = None,
+        trace: Any | None = None,
+    ) -> list:
         kwargs = kwargs or {}
         timeout = resolve_timeout(timeout)
         trace_on = trace is not None

@@ -39,6 +39,7 @@ class ThreadEngine(SpmdEngine):
         rank_perf: Sequence[Any] | None = None,
         timeout: float | None = None,
         trace: Any | None = None,
+        checkpoint: Any | None = None,   # write path only; no retry
     ) -> list:
         return _thread_run_spmd(
             size, worker, args, kwargs,

@@ -1,0 +1,442 @@
+"""Level-boundary checkpoint/restart (repro.runtime.checkpoint) plus the
+induction-path correctness fixes that shipped with it:
+
+* durability discipline — atomic manifests, digest validation, torn cuts
+  skipped, pruning;
+* resume — same-size and p → p′ re-sharded, both bit-identical;
+* knob plumbing — ``resolve_checkpoint`` env parity, ``InductionConfig``
+  / ``ScalParC.fit`` integration;
+* the empty-child leaf labeling fix (parent majority, not class 0);
+* ``LevelDecisions.validate`` rejecting malformed decisions;
+* FindSplitII phase attribution on the fused and unfused paths.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.baselines import induce_serial
+from repro.core import InductionConfig, ScalParC, induce_worker
+from repro.core.phases import FINDSPLIT1, FINDSPLIT2
+from repro.core.splitter import LevelDecisions
+from repro.datagen import generate_quest
+from repro.datagen.schema import AttributeSpec, Dataset, Schema
+from repro.perfmodel import PerfRun
+from repro.runtime import (
+    CHECKPOINT_ENV,
+    CheckpointConfig,
+    CheckpointError,
+    LevelCheckpointer,
+    LoadedCheckpoint,
+    TraceCollector,
+    latest_manifest,
+    resolve_checkpoint,
+    run_spmd,
+)
+
+
+# ----------------------------------------------------------------------
+# configuration & resolution
+# ----------------------------------------------------------------------
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        CheckpointConfig(dir="")
+    with pytest.raises(ValueError):
+        CheckpointConfig(dir="x", every=0)
+    with pytest.raises(ValueError):
+        CheckpointConfig(dir="x", keep=-1)
+    with pytest.raises(ValueError):
+        CheckpointConfig(dir="x", max_restarts=-1)
+    with pytest.raises(ValueError):
+        CheckpointConfig(dir="x", jitter=1.5)
+    with pytest.raises(ValueError):
+        CheckpointConfig(dir="x", min_ranks=0)
+
+
+def test_resolve_checkpoint_precedence(tmp_path, monkeypatch):
+    monkeypatch.delenv(CHECKPOINT_ENV, raising=False)
+    assert resolve_checkpoint(None) is None
+
+    monkeypatch.setenv(CHECKPOINT_ENV, str(tmp_path))
+    from_env = resolve_checkpoint(None)
+    assert from_env is not None and from_env.dir == str(tmp_path)
+
+    explicit = CheckpointConfig(dir="elsewhere", every=3)
+    assert resolve_checkpoint(explicit) is explicit          # config wins
+    assert resolve_checkpoint(tmp_path / "run").dir.endswith("run")
+    with pytest.raises(TypeError):
+        resolve_checkpoint(42)
+
+
+def test_resume_source(tmp_path):
+    cfg = CheckpointConfig(dir=str(tmp_path))
+    assert cfg.resume_source() is None                       # fresh start
+    with pytest.raises(CheckpointError):
+        CheckpointConfig(dir=str(tmp_path), resume=True).resume_source()
+    pinned = CheckpointConfig(dir=str(tmp_path), resume="some/manifest.json")
+    assert pinned.resume_source() == "some/manifest.json"
+
+
+def test_induction_config_checkpoint_field(tmp_path):
+    cfg = InductionConfig(checkpoint=str(tmp_path))
+    assert cfg.checkpoint == str(tmp_path)
+    with pytest.raises(TypeError):
+        InductionConfig(checkpoint=42)
+
+
+def test_should_save_cadence():
+    every3 = LevelCheckpointer(CheckpointConfig(dir="x", every=3))
+    assert [lvl for lvl in range(9) if every3.should_save(lvl)] == [2, 5, 8]
+    every1 = LevelCheckpointer(CheckpointConfig(dir="x", every=1))
+    assert all(every1.should_save(lvl) for lvl in range(4))
+
+
+# ----------------------------------------------------------------------
+# durable save/load primitives (driven through a tiny SPMD worker)
+# ----------------------------------------------------------------------
+
+
+def _saving_worker(comm, directory, levels, every=1, keep=0):
+    ckpt = LevelCheckpointer(CheckpointConfig(dir=directory, every=every,
+                                              keep=keep))
+    for level in levels:
+        ckpt.save(comm, level,
+                  rank_payload={"rank": comm.rank,
+                                "data": np.arange(comm.rank + 3)},
+                  shared_payload={"tree": f"partial@{level}"},
+                  meta={"algo": "unit-test"})
+    ckpt.finalize(comm)           # drain the pipelined writes and seals
+    return len(ckpt.sealed)
+
+
+def test_save_load_roundtrip(tmp_path):
+    d = str(tmp_path / "run")
+    run_spmd(2, _saving_worker, args=(d, [1, 2, 3]))
+
+    manifest = latest_manifest(d)
+    assert manifest is not None and "level-0003" in manifest
+    loaded = LoadedCheckpoint.open(manifest)
+    assert loaded.level == 3 and loaded.n_ranks == 2
+    assert loaded.meta == {"algo": "unit-test"}
+    assert loaded.shared_payload() == {"tree": "partial@3"}
+    payloads = loaded.all_rank_payloads()
+    assert [p["rank"] for p in payloads] == [0, 1]
+    np.testing.assert_array_equal(payloads[1]["data"], np.arange(4))
+
+    # open() also accepts a level dir and the run dir
+    assert LoadedCheckpoint.open(os.path.dirname(manifest)).level == 3
+    assert LoadedCheckpoint.open(d).level == 3
+    with pytest.raises(CheckpointError):
+        LoadedCheckpoint.open(str(tmp_path / "nowhere"))
+    with pytest.raises(CheckpointError):
+        loaded.rank_payload(2)                      # outside the old world
+
+
+def test_prune_keeps_newest_cuts(tmp_path):
+    d = str(tmp_path / "run")
+    run_spmd(2, _saving_worker, args=(d, [1, 2, 3, 4]), kwargs={"keep": 2})
+    assert sorted(os.listdir(d)) == ["level-0003", "level-0004"]
+
+
+def test_corrupt_payload_detected(tmp_path):
+    d = str(tmp_path / "run")
+    run_spmd(2, _saving_worker, args=(d, [1]))
+    loaded = LoadedCheckpoint.open(d)
+    victim = os.path.join(loaded.directory, "rank-001.ckpt")
+    blob = bytearray(open(victim, "rb").read())
+    blob[len(blob) // 2] ^= 0xFF
+    open(victim, "wb").write(bytes(blob))
+    with pytest.raises(CheckpointError, match="corrupt"):
+        loaded.rank_payload(1)
+
+
+def test_torn_cut_skipped(tmp_path):
+    d = str(tmp_path / "run")
+    run_spmd(2, _saving_worker, args=(d, [1]))
+    # a crash mid-save leaves payloads but no manifest: must be invisible
+    torn = os.path.join(d, "level-0009")
+    os.makedirs(torn)
+    open(os.path.join(torn, "rank-000.ckpt"), "wb").write(b"partial")
+    assert "level-0001" in latest_manifest(d)
+    # ...as must a manifest from an incompatible future format
+    future = os.path.join(d, "level-0010")
+    os.makedirs(future)
+    with open(os.path.join(future, "manifest.json"), "w") as fh:
+        json.dump({"format": 999}, fh)
+    assert "level-0001" in latest_manifest(d)
+    assert LoadedCheckpoint.open(d).level == 1
+
+
+# ----------------------------------------------------------------------
+# end-to-end: checkpointed fits and resumes (thread backend)
+# ----------------------------------------------------------------------
+
+
+def test_checkpointed_fit_writes_cuts_and_matches_serial(tmp_path):
+    ds = generate_quest(400, "F2", seed=3)
+    golden = induce_serial(ds)
+    cfg = CheckpointConfig(dir=str(tmp_path / "run"), every=2, keep=0)
+    trees = run_spmd(3, induce_worker, args=(ds, None),
+                     kwargs={"checkpoint": cfg})
+    assert trees[0].structurally_equal(golden)
+    manifest = latest_manifest(cfg.dir)
+    assert manifest is not None
+    assert LoadedCheckpoint.open(manifest).n_ranks == 3
+
+
+@pytest.mark.parametrize("new_size", [3, 2, 4])
+def test_resume_is_bit_identical(tmp_path, new_size):
+    """Resume from a mid-fit cut on the same or a different world size —
+    the finished tree must equal the uninterrupted run's exactly."""
+    ds = generate_quest(500, "F2", seed=5)
+    golden = induce_serial(ds)
+    d = str(tmp_path / "run")
+    run_spmd(3, induce_worker, args=(ds, None),
+             kwargs={"checkpoint": CheckpointConfig(dir=d, keep=0)})
+    # rewind to an *early* cut so the resumed job does real work
+    early = os.path.join(d, "level-0002", "manifest.json")
+    assert os.path.exists(early)
+    resume = CheckpointConfig(dir=d, resume=early)
+    trees = run_spmd(new_size, induce_worker, args=(ds, None),
+                     kwargs={"checkpoint": resume})
+    for tree in trees:
+        assert tree.structurally_equal(golden)
+
+
+def test_resume_rejects_mismatched_run(tmp_path):
+    ds = generate_quest(300, "F2", seed=5)
+    d = str(tmp_path / "run")
+    run_spmd(2, induce_worker, args=(ds, None),
+             kwargs={"checkpoint": CheckpointConfig(dir=d)})
+    resume = CheckpointConfig(dir=d, resume=True)
+
+    other = generate_quest(280, "F2", seed=5)      # different n_records
+    with pytest.raises(Exception) as excinfo:
+        run_spmd(2, induce_worker, args=(other, None),
+                 kwargs={"checkpoint": resume})
+    assert any(isinstance(e, CheckpointError)
+               for e in excinfo.value.failures.values())
+
+    shaped = InductionConfig(max_depth=2)          # different tree shape
+    with pytest.raises(Exception) as excinfo:
+        run_spmd(2, induce_worker, args=(ds, shaped),
+                 kwargs={"checkpoint": resume})
+    assert any(isinstance(e, CheckpointError)
+               for e in excinfo.value.failures.values())
+
+
+def test_fit_api_and_env_parity(tmp_path, monkeypatch):
+    ds = generate_quest(300, "F3", seed=2)
+    golden = induce_serial(ds)
+
+    # explicit fit(checkpoint=...) path
+    d1 = str(tmp_path / "api")
+    result = ScalParC(2).fit(ds, checkpoint=d1)
+    assert result.tree.structurally_equal(golden)
+    assert latest_manifest(d1) is not None
+
+    # InductionConfig(checkpoint=...) path
+    d2 = str(tmp_path / "cfg")
+    result = ScalParC(2, config=InductionConfig(checkpoint=d2)).fit(ds)
+    assert result.tree.structurally_equal(golden)
+    assert latest_manifest(d2) is not None
+
+    # REPRO_SPMD_CHECKPOINT env path
+    d3 = str(tmp_path / "env")
+    monkeypatch.setenv(CHECKPOINT_ENV, d3)
+    result = ScalParC(2).fit(ds)
+    assert result.tree.structurally_equal(golden)
+    assert latest_manifest(d3) is not None
+
+
+def test_explicit_checkpoint_with_incapable_worker_raises(tmp_path):
+    def no_ckpt_worker(comm):
+        return comm.rank
+
+    with pytest.raises(TypeError, match="checkpoint"):
+        run_spmd(2, no_ckpt_worker, checkpoint=str(tmp_path))
+
+
+def test_env_checkpoint_with_incapable_worker_is_ignored(tmp_path,
+                                                         monkeypatch):
+    monkeypatch.setenv(CHECKPOINT_ENV, str(tmp_path / "ignored"))
+
+    def no_ckpt_worker(comm):
+        return comm.rank
+
+    assert run_spmd(2, no_ckpt_worker) == [0, 1]
+    assert not os.path.exists(str(tmp_path / "ignored"))
+
+
+# ----------------------------------------------------------------------
+# malformed LevelDecisions (bugfix: honest Optional + early validation)
+# ----------------------------------------------------------------------
+
+
+def test_malformed_level_decisions_rejected():
+    splitting = np.array([True, False])
+    ok = LevelDecisions(
+        splitting=splitting,
+        winner_attr=np.array([0, -1]),
+        threshold=np.array([1.5, np.nan]),
+        cat_layouts={},
+        child_base=np.array([0, 0]),
+        n_next=2,
+    )
+    ok.validate()                                   # well-formed passes
+
+    with pytest.raises(ValueError, match="malformed LevelDecisions"):
+        LevelDecisions(splitting=splitting,
+                       winner_attr=np.array([0, -1]),
+                       threshold=np.array([1.5, np.nan]),
+                       cat_layouts={}, child_base=None,
+                       n_next=2).validate()
+    with pytest.raises(ValueError, match="malformed LevelDecisions"):
+        LevelDecisions(splitting=splitting,
+                       winner_attr=np.array([0]),   # wrong length
+                       threshold=np.array([1.5, np.nan]),
+                       cat_layouts={}, child_base=np.array([0, 0]),
+                       n_next=2).validate()
+    with pytest.raises(ValueError, match="malformed LevelDecisions"):
+        LevelDecisions(splitting=splitting,
+                       winner_attr=np.array([0, -1]),
+                       threshold=np.array([1.5, np.nan]),
+                       cat_layouts={}, child_base=np.array([0, 0]),
+                       n_next=0).validate()         # splits but no children
+
+
+# ----------------------------------------------------------------------
+# empty-child leaf labeling (bugfix: parent majority, not class 0)
+# ----------------------------------------------------------------------
+
+
+def _held_out_category_dataset() -> Dataset:
+    """120 records whose categorical attribute declares 4 values but only
+    ever takes {0, 1, 3} — value 2 is held out of the training data.  The
+    label follows the category (with noise broken by a continuous
+    attribute), so the categorical attribute wins the root split, and the
+    overall majority class is 1 (so a class-0 mislabel is detectable)."""
+    rng = np.random.default_rng(42)
+    cat = rng.choice(np.array([0, 1, 3]), size=120,
+                     p=[0.25, 0.5, 0.25]).astype(np.int32)
+    labels = np.where(cat == 0, 0, 1).astype(np.int64)
+    cont = rng.normal(size=120) + labels            # weakly informative
+    schema = Schema(attributes=(
+        AttributeSpec("cat", "categorical", n_values=4),
+        AttributeSpec("cont", "continuous"),
+    ), n_classes=2)
+    return Dataset(schema=schema, columns=[cat, cont.astype(np.float64)],
+                   labels=labels)
+
+
+def test_held_out_category_matches_serial():
+    """A declared-but-absent categorical value maps to no child
+    (value_to_child == -1) and the parallel tree equals the serial one."""
+    ds = _held_out_category_dataset()
+    golden = induce_serial(ds)
+    root = golden.root
+    assert not root.is_leaf and root.attr_index == 0
+    assert root.value_to_child[2] == -1             # held-out value
+    trees = run_spmd(3, induce_worker, args=(ds, None))
+    assert trees[0].structurally_equal(golden)
+
+
+def test_empty_child_inherits_parent_majority(monkeypatch):
+    """Force a genuinely empty child (map the held-out value to its own
+    child slot) in both the serial reference and the parallel driver: the
+    empty leaf must inherit the parent's majority class — the historical
+    behaviour labeled it argmax of all-zero counts, i.e. always class 0."""
+    from repro.core import splits as real_splits
+
+    def layout_with_empty_child(matrix, mask):
+        v2c, n_children, default = \
+            real_splits.categorical_children_layout(matrix, mask)
+        if mask is None and np.any(v2c == -1):      # multiway + held-out
+            v2c = v2c.copy()
+            absent = int(np.argmax(v2c == -1))
+            v2c[absent] = n_children
+            n_children += 1
+        return v2c, n_children, default
+
+    import repro.baselines.serial_reference as serial_mod
+    import repro.core.induction as induction_mod
+    monkeypatch.setattr(serial_mod, "categorical_children_layout",
+                        layout_with_empty_child)
+    monkeypatch.setattr(induction_mod, "categorical_children_layout",
+                        layout_with_empty_child)
+
+    ds = _held_out_category_dataset()
+    golden = induce_serial(ds)
+    trees = run_spmd(3, induce_worker, args=(ds, None))
+    assert trees[0].structurally_equal(golden)
+
+    def find_empty_leaves(node, parent=None, found=None):
+        found = [] if found is None else found
+        if node.is_leaf:
+            if node.n_records == 0:
+                found.append((node, parent))
+        else:
+            for child in node.children:
+                find_empty_leaves(child, node, found)
+        return found
+
+    for tree in (golden, trees[0]):
+        empties = find_empty_leaves(tree.root)
+        assert empties, "the forced layout should create an empty child"
+        for leaf, parent in empties:
+            assert leaf.class_counts.sum() == 0
+            assert leaf.label == int(np.argmax(parent.class_counts))
+            assert leaf.label == 1                  # class 0 was the bug
+
+
+# ----------------------------------------------------------------------
+# FindSplitII phase attribution (bugfix: timed_phase(comm, ...) so the
+# tracer stamps the scan region; fused and unfused paths must agree)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("fused", [True, False])
+def test_findsplit2_phase_attribution(fused):
+    ds = generate_quest(400, "F2", seed=9)
+    config = InductionConfig(fused_collectives=fused)
+    collector = TraceCollector()
+    perf = PerfRun(2)
+    run_spmd(2, induce_worker, args=(ds, config),
+             observer=perf, rank_perf=perf.trackers, trace=collector)
+
+    for rank, tracker in enumerate(perf.trackers):
+        events = collector.events_of(rank)
+        # every collective issued inside the level loop is inside a
+        # timed_phase region entered through the communicator
+        assert all(e.phase is not None
+                   for e in events if e.level is not None)
+        # the tracker's per-phase communication volume is exactly the
+        # sum of the bytes on the events stamped with that phase
+        for phase in (FINDSPLIT1, FINDSPLIT2):
+            stamped = [e for e in events if e.phase == phase]
+            assert stamped, f"no {phase} events on rank {rank}"
+            assert tracker.phase_comm_bytes[phase] == sum(
+                e.payload_nbytes + e.result_nbytes for e in stamped
+            )
+
+
+def test_findsplit_phase_bytes_identical_fused_vs_unfused():
+    """Collective fusion changes the schedule, never the attribution:
+    per-phase communication volume must match the unfused ablation."""
+    ds = generate_quest(400, "F2", seed=9)
+    volumes = {}
+    for fused in (True, False):
+        perf = PerfRun(2)
+        collector = TraceCollector()
+        run_spmd(2, induce_worker,
+                 args=(ds, InductionConfig(fused_collectives=fused)),
+                 observer=perf, rank_perf=perf.trackers, trace=collector)
+        volumes[fused] = perf.stats().phase_bytes
+    assert set(volumes[True]) == set(volumes[False])
+    assert volumes[True][FINDSPLIT2] > 0

@@ -6,6 +6,12 @@ have — a rank's OS process dying outright (``os._exit``), taking its
 pipe with it.  Those tests also exercise the trace layer's post-mortem
 value: the dead rank delivered no trace, so the conformance checker
 pins the truncation on it.
+
+With level-boundary checkpointing enabled (``repro.runtime.checkpoint``)
+a killed fit is no longer fatal: the second half of this module covers
+the recovery path — kill at level k, resume from the last manifest,
+bit-identical tree; and the process engine's supervised retry, including
+elastic p → p′ degradation when respawning at full size keeps failing.
 """
 
 from __future__ import annotations
@@ -20,10 +26,12 @@ from repro.core import InductionConfig, induce_worker
 from repro.core.splitter import ScalParCSplitPhase
 from repro.datagen import generate_quest
 from repro.runtime import (
+    CheckpointConfig,
     CollectiveAbortedError,
     SpmdWorkerError,
     TraceCollector,
     WorkerCrashError,
+    latest_manifest,
     run_spmd,
 )
 
@@ -218,3 +226,201 @@ def test_abort_error_carries_origin():
     with pytest.raises(SpmdWorkerError):
         run_spmd(3, worker)
     assert all(origin == 2 for origin in seen.values())
+
+
+# ----------------------------------------------------------------------
+# checkpoint/restart: a killed fit is recoverable
+# ----------------------------------------------------------------------
+
+
+class _HardExitSplitPhase(ScalParCSplitPhase):
+    """Hard-kills one rank's process (``os._exit``) at a level — once.
+
+    A sentinel file marks that the kill already happened, so the phase is
+    lethal in the first incarnation of the job and harmless in respawns
+    (the realistic transient-fault shape).  Fork-safe: the flag lives on
+    the filesystem, not in process state.
+    """
+
+    def __init__(self, flag_path: str, dying_rank: int = 1,
+                 at_level: int = 2):
+        super().__init__()
+        self.flag_path = flag_path
+        self.dying_rank = dying_rank
+        self.at_level = at_level
+        self._level = 0
+
+    def execute(self, comm, lists, decisions, config):
+        if self._level == self.at_level and comm.rank == self.dying_rank \
+                and not os.path.exists(self.flag_path):
+            open(self.flag_path, "x").close()
+            os._exit(13)
+        self._level += 1
+        super().execute(comm, lists, decisions, config)
+
+
+class _DieWhileWideSplitPhase(ScalParCSplitPhase):
+    """Kills a rank at a level *every* time the world has ≥ 3 ranks — a
+    persistent fault that only elastic degradation can route around."""
+
+    def __init__(self, at_level: int = 2):
+        super().__init__()
+        self.at_level = at_level
+        self._level = 0
+
+    def execute(self, comm, lists, decisions, config):
+        if self._level == self.at_level and comm.size >= 3 \
+                and comm.rank == comm.size - 1:
+            os._exit(13)
+        self._level += 1
+        super().execute(comm, lists, decisions, config)
+
+
+@pytest.mark.parametrize("backend", ["thread", "process", "cooperative"])
+def test_checkpoint_write_path_on_every_backend(backend, tmp_path):
+    """Checkpointing is engine-agnostic: every backend writes complete,
+    loadable cuts and induces the reference tree."""
+    ds = generate_quest(400, "F2", seed=1)
+    cfg = CheckpointConfig(dir=str(tmp_path / backend), every=1, keep=0)
+    trees = run_spmd(3, induce_worker, args=(ds, None),
+                     kwargs={"checkpoint": cfg}, backend=backend,
+                     timeout=60.0)
+    assert trees[0].structurally_equal(induce_serial(ds))
+    manifest = latest_manifest(cfg.dir)
+    assert manifest is not None
+
+    from repro.runtime import LoadedCheckpoint
+
+    loaded = LoadedCheckpoint.open(manifest)
+    assert loaded.n_ranks == 3
+    assert loaded.meta.get("algo") == "scalparc-induction"
+
+
+def test_kill_at_level_k_then_resume_bit_identical(tmp_path):
+    """The acceptance scenario, engine-independent half: a fit killed at
+    level k leaves a complete manifest; a fresh job resuming from it
+    finishes with a tree bit-identical to the uninterrupted run — and the
+    resumed schedule itself is deterministic (trace-digest equality)."""
+    ds = generate_quest(500, "F2", seed=4)
+    golden = induce_serial(ds)
+    d = str(tmp_path / "run")
+    cfg = CheckpointConfig(dir=d, every=1, keep=0)
+
+    def doomed(comm, checkpoint=None):
+        return induce_worker(comm, ds, None,
+                             split_phase=_DyingSplitPhase(1, at_level=3),
+                             checkpoint=checkpoint)
+
+    with pytest.raises(SpmdWorkerError):
+        run_spmd(3, doomed, kwargs={"checkpoint": cfg})
+    # cut k's manifest is sealed during the save of cut k+1 (pipelined
+    # fsyncs), so dying *inside* level 3 leaves level-0002 as the newest
+    # sealed cut — one cadence window behind the crash point
+    manifest = latest_manifest(d)
+    assert manifest is not None and "level-0002" in manifest
+
+    # keep=0 (retain all cuts): the resumed jobs write new cuts into the
+    # same directory, and the default retention would prune the very cut
+    # the second resume wants
+    resume = CheckpointConfig(dir=d, resume=manifest, keep=0)
+    digests = []
+    for _ in range(2):                  # resume twice: same events exactly
+        collector = TraceCollector()
+        trees = run_spmd(3, induce_worker, args=(ds, None),
+                         kwargs={"checkpoint": resume}, trace=collector)
+        for tree in trees:
+            assert tree.structurally_equal(golden)
+        collector.check().raise_if_failed()
+        digests.append([
+            (e.kind, e.payload_digest, e.result_digest)
+            for rank in range(3) for e in collector.events_of(rank)
+        ])
+    assert digests[0] == digests[1]
+
+
+def test_hard_kill_recovery_on_process_backend(tmp_path):
+    """A rank hard-killed mid-level (``os._exit``) on the process backend:
+    the supervisor tears the job down, respawns from the last manifest,
+    and the fit completes transparently with the reference tree."""
+    from repro.runtime.engines.process import ProcessEngine
+
+    ds = generate_quest(400, "F2", seed=1)
+    cfg = CheckpointConfig(dir=str(tmp_path / "ckpt"), every=1, keep=0,
+                           max_restarts=2, backoff_base=0.01)
+    flag = str(tmp_path / "killed")
+
+    def worker(comm, checkpoint=None):
+        return induce_worker(
+            comm, ds, None,
+            split_phase=_HardExitSplitPhase(flag, dying_rank=1, at_level=2),
+            checkpoint=checkpoint,
+        )
+
+    trees = run_spmd(3, worker, backend="process", timeout=30.0,
+                     checkpoint=cfg)
+    assert all(t.structurally_equal(induce_serial(ds)) for t in trees)
+    # one crash, one successful respawn — at the original size
+    assert ProcessEngine.last_attempts == ((0, 3), (1, 3))
+    assert os.path.exists(flag)
+
+
+def test_elastic_degraded_recovery_p4_to_p2(tmp_path):
+    """The acceptance scenario's degraded half: a *persistent* fault kills
+    a rank whenever the world is wide, so respawning at p=4 fails again;
+    the second restart shrinks to p′=2 and completes — same tree."""
+    from repro.runtime.engines.process import ProcessEngine
+
+    ds = generate_quest(400, "F2", seed=1)
+    cfg = CheckpointConfig(dir=str(tmp_path / "ckpt"), every=1, keep=0,
+                           max_restarts=2, backoff_base=0.01)
+
+    def worker(comm, checkpoint=None):
+        return induce_worker(comm, ds, None,
+                             split_phase=_DieWhileWideSplitPhase(at_level=2),
+                             checkpoint=checkpoint)
+
+    trees = run_spmd(4, worker, backend="process", timeout=30.0,
+                     checkpoint=cfg)
+    assert all(t.structurally_equal(induce_serial(ds)) for t in trees)
+    # attempt 0 at p=4 crashed, attempt 1 respawned at p=4 and crashed
+    # again, attempt 2 degraded to p′=2 and finished
+    assert ProcessEngine.last_attempts == ((0, 4), (1, 4), (2, 2))
+
+
+def test_retry_budget_exhausted_surfaces_failure(tmp_path):
+    """With elastic shrinking off, a persistent fault exhausts
+    ``max_restarts`` and the original failure is surfaced."""
+    ds = generate_quest(400, "F2", seed=1)
+    cfg = CheckpointConfig(dir=str(tmp_path / "ckpt"), every=1, keep=0,
+                           max_restarts=1, backoff_base=0.01, elastic=False)
+
+    def worker(comm, checkpoint=None):
+        return induce_worker(comm, ds, None,
+                             split_phase=_DieWhileWideSplitPhase(at_level=2),
+                             checkpoint=checkpoint)
+
+    with pytest.raises(SpmdWorkerError) as excinfo:
+        run_spmd(3, worker, backend="process", timeout=30.0, checkpoint=cfg)
+    assert any(isinstance(e, WorkerCrashError)
+               for e in excinfo.value.failures.values())
+
+
+def test_worker_raised_errors_are_not_retried(tmp_path):
+    """Supervised retry covers rank death and pipe timeouts only: a
+    worker-*raised* exception is a correctness signal and must surface
+    immediately, checkpoint or not."""
+    from repro.runtime.engines.process import ProcessEngine
+
+    ds = generate_quest(400, "F2", seed=1)
+    cfg = CheckpointConfig(dir=str(tmp_path / "ckpt"), every=1, keep=0,
+                           max_restarts=2, backoff_base=0.01)
+
+    def worker(comm, checkpoint=None):
+        return induce_worker(comm, ds, None,
+                             split_phase=_DyingSplitPhase(1, at_level=2),
+                             checkpoint=checkpoint)
+
+    with pytest.raises(SpmdWorkerError) as excinfo:
+        run_spmd(3, worker, backend="process", timeout=30.0, checkpoint=cfg)
+    assert isinstance(excinfo.value.failures[1], OSError)
+    assert ProcessEngine.last_attempts == ((0, 3),)     # no respawn
