@@ -10,8 +10,10 @@ measurements (multiple rounds).
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
-from conftest import SCALE, dataset_factory
+from conftest import SCALE, dataset_factory, emit
 
 from repro import ScalParC, induce_serial
 from repro.core.criteria import split_score_from_left
@@ -65,6 +67,64 @@ def test_entry_nodes_cache(benchmark):
     assert alist.entry_nodes() is first          # cache hit: same object
     alist.reorder(np.zeros(n, dtype=np.int64), 1)
     assert alist.entry_nodes() is not first      # reorder invalidates
+
+
+def test_excl_prefix_kernel_before_after(benchmark):
+    """The FindSplitII exclusive per-class prefix: the per-class Python
+    loop it shipped with versus the single 2-D one-hot cumsum that
+    replaced it.  Both are integer math over the same arrays, so the
+    outputs must be bit-identical; the vectorized kernel drops the
+    n_classes Python-level passes (and their temporaries) in favor of one
+    C-level reduction over a row-contiguous (n_classes, n) one-hot.
+    Timings for both variants land in ``BENCH_kernels.json`` as the start
+    of the kernel trajectory; measured at the repo's dominant shape
+    (Quest labels are binary)."""
+    rng = np.random.default_rng(3)
+    n, n_classes = N_KERNEL, 2
+    labels = rng.integers(0, n_classes, n).astype(np.int64)
+
+    def excl_looped():
+        excl = np.empty((n, n_classes), dtype=np.int64)
+        for j in range(n_classes):
+            onehot = labels == j
+            cum = np.cumsum(onehot)
+            excl[:, j] = cum - onehot
+        return excl
+
+    def excl_vectorized():
+        # (n_classes, n) layout keeps the cumsum on contiguous rows
+        onehot = (labels == np.arange(n_classes)[:, None]).astype(np.int64)
+        excl = np.cumsum(onehot, axis=1)
+        excl -= onehot
+        return excl.T
+
+    np.testing.assert_array_equal(excl_looped(), excl_vectorized())
+
+    def best_of(fn, rounds=5):
+        times = []
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    t_loop = best_of(excl_looped)
+    t_vec = best_of(excl_vectorized)
+    out = benchmark(excl_vectorized)
+    assert out.shape == (n, n_classes)
+
+    rows = [
+        {"kernel": "excl_prefix", "variant": "per-class loop (before)",
+         "n": n, "n_classes": n_classes, "best_seconds": t_loop},
+        {"kernel": "excl_prefix", "variant": "2-D one-hot cumsum (after)",
+         "n": n, "n_classes": n_classes, "best_seconds": t_vec},
+    ]
+    text = "\n".join(
+        f"{r['kernel']:12s} {r['variant']:28s} n={r['n']} "
+        f"c={r['n_classes']} best={r['best_seconds'] * 1e3:8.2f} ms"
+        for r in rows
+    ) + f"\nloop/vectorized ratio: {t_loop / t_vec:.2f}x"
+    emit("BENCH_kernels", text, data=rows)
 
 
 def test_sample_sort_wall_time(benchmark):

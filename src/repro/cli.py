@@ -32,6 +32,7 @@ from pathlib import Path
 from .analysis import format_series, run_grid, speedup_series
 from .baselines import induce_serial
 from .core import InductionConfig, ScalParC
+from .core.config import SPLIT_MODES
 from .runtime import available_backends
 from .datagen import (
     FUNCTION_NAMES,
@@ -77,6 +78,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "print the trace report (see also "
                             "REPRO_SPMD_TRACE=1)")
     train.add_argument("--max-depth", type=int, default=None)
+    train.add_argument("--split-mode", choices=SPLIT_MODES, default=None,
+                       help="FindSplit strategy: exact (the paper's exscan "
+                            "formulation, default), histogram (pre-binned "
+                            "count cubes), or voted (histogram + PV-Tree "
+                            "attribute voting — the communication-efficient "
+                            "mode); default: REPRO_SPMD_SPLIT_MODE env "
+                            "var, then exact")
+    train.add_argument("--bins", type=int, default=32, metavar="N",
+                       help="histogram/voted: target bins per continuous "
+                            "attribute (default 32)")
+    train.add_argument("--vote-top-k", type=int, default=2, metavar="K",
+                       help="voted: attributes each rank votes for per "
+                            "node (default 2)")
     train.add_argument("--criterion", choices=("gini", "entropy"),
                        default="gini")
     train.add_argument("--subset-splits", action="store_true",
@@ -160,7 +174,14 @@ def _cmd_train(args: argparse.Namespace) -> int:
         max_depth=args.max_depth,
         criterion=args.criterion,
         categorical_binary_subsets=args.subset_splits,
+        split_mode=args.split_mode,
+        n_bins=args.bins,
+        vote_top_k=args.vote_top_k,
     )
+    if args.serial and config.resolved_split_mode() != "exact":
+        print("note: --serial always uses the exact split enumeration "
+              f"(--split-mode {config.resolved_split_mode()} ignored)",
+              file=sys.stderr)
     checkpoint = None
     if args.resume and args.checkpoint_dir is None:
         print("error: --resume requires --checkpoint-dir", file=sys.stderr)

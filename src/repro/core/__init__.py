@@ -8,6 +8,8 @@ Submodules map one-to-one onto the paper's structure:
 * :mod:`~repro.core.attribute_lists` — distributed, per-node-segmented
   attribute lists (§2/§3.1);
 * :mod:`~repro.core.findsplit` — FindSplitI/II (§3.2, §4);
+* :mod:`~repro.core.strategies` — pluggable split strategies: the exact
+  exscan schedule plus histogram/voted approximations (beyond the paper);
 * :mod:`~repro.core.splitter` — PerformSplitI/II over the distributed node
   table (§3.3);
 * :mod:`~repro.core.induction` — the level-synchronous driver (Figure 2);
@@ -38,6 +40,7 @@ from .splits import (
     pack_candidates,
 )
 from .splitter import LevelDecisions, perform_split
+from .strategies import SplitStrategy, make_strategy
 
 __all__ = [
     "BEST_SPLIT",
@@ -50,6 +53,7 @@ __all__ = [
     "LocalAttributeList",
     "NO_CANDIDATE",
     "ScalParC",
+    "SplitStrategy",
     "best_binary_subset",
     "best_categorical_split",
     "build_local_lists",
@@ -59,6 +63,7 @@ __all__ = [
     "fit_scalparc",
     "impurity",
     "induce_worker",
+    "make_strategy",
     "pack_candidates",
     "parallel_predict",
     "parallel_score",

@@ -44,6 +44,13 @@ class LocalAttributeList:
     labels: np.ndarray
     #: CSR segment bounds: segment k = entries [offsets[k], offsets[k+1])
     offsets: np.ndarray
+    #: histogram strategies only: sorted interior bin edges shared by all
+    #: ranks (actual data values drawn from the global sorted order at
+    #: presort); None under the exact strategy
+    bin_edges: np.ndarray | None = None
+    #: histogram strategies only: per-entry bin code, maintained through
+    #: every reorder; ``code = searchsorted(bin_edges, v, side="right")``
+    bin_codes: np.ndarray | None = None
 
     def __post_init__(self):
         n = len(self.values)
@@ -84,8 +91,29 @@ class LocalAttributeList:
 
     def nbytes(self) -> int:
         """Live bytes of this fragment (for the memory model)."""
+        extra = 0
+        if self.bin_edges is not None:
+            extra += self.bin_edges.nbytes
+        if self.bin_codes is not None:
+            extra += self.bin_codes.nbytes
         return int(self.values.nbytes + self.rids.nbytes + self.labels.nbytes
-                   + self.offsets.nbytes)
+                   + self.offsets.nbytes + extra)
+
+    @property
+    def n_bins_effective(self) -> int:
+        """Number of occupied-able bins (= len(bin_edges) + 1)."""
+        if self.bin_edges is None:
+            raise ValueError(
+                f"attribute {self.spec.name!r} has no bin edges attached"
+            )
+        return len(self.bin_edges) + 1
+
+    def attach_bins(self, edges: np.ndarray) -> None:
+        """Attach histogram bin edges and (re)derive per-entry codes."""
+        self.bin_edges = np.asarray(edges, dtype=np.float64)
+        self.bin_codes = np.searchsorted(
+            self.bin_edges, self.values, side="right"
+        ).astype(np.int32)
 
     def snapshot_state(self, compact: bool = True) -> dict:
         """Picklable resume state of this fragment (checkpoint payload).
@@ -110,6 +138,10 @@ class LocalAttributeList:
         if not compact:
             state["values"] = self.values
             state["labels"] = self.labels
+        if self.bin_edges is not None:
+            # edges are tiny and identical on every rank; codes are a pure
+            # function of (edges, values) and are re-derived on restore
+            state["bin_edges"] = self.bin_edges
         return state
 
     def reorder(self, new_nodes: np.ndarray, n_next: int) -> None:
@@ -127,6 +159,8 @@ class LocalAttributeList:
         self.values = self.values[keep][perm]
         self.rids = self.rids[keep][perm]
         self.labels = self.labels[keep][perm]
+        if self.bin_codes is not None:
+            self.bin_codes = self.bin_codes[keep][perm]
         counts = np.bincount(kept_nodes, minlength=n_next)
         self.offsets = np.concatenate(
             ([0], np.cumsum(counts, dtype=np.int64))
@@ -311,6 +345,10 @@ def restore_local_lists(
                  for frag in fragments],
                 comm.rank, comm.size,
             )
+        if "bin_edges" in fragments[0]:
+            # edges are replicated, so any old rank's copy serves; codes
+            # are re-derived from the hydrated values (bit-identical)
+            alist.attach_bins(np.asarray(fragments[0]["bin_edges"]))
         comm.perf.register_bytes(f"attr_list[{spec.name}]", alist.nbytes())
         lists.append(alist)
     return lists

@@ -53,9 +53,14 @@ class ScalParC:
         ``"cooperative"``); ``None`` defers to ``config.backend``, then
         the ``REPRO_SPMD_BACKEND`` environment variable, then thread.
 
-    The induced tree is *independent of* both ``n_processors`` and
-    ``backend``: any combination produces exactly the serial reference's
-    tree.
+    Under the default ``config.split_mode`` (exact) the induced tree is
+    *independent of* both ``n_processors`` and ``backend``: any
+    combination produces exactly the serial reference's tree.  The
+    histogram/voted split strategies (see :mod:`repro.core.strategies`)
+    trade that exactness for communication volume — their trees stay
+    backend-independent at a fixed ``n_processors`` but may differ from
+    the serial reference (and, for voted, across processor counts: the
+    ballot is cast from per-rank local data).
     """
 
     def __init__(

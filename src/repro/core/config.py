@@ -7,11 +7,19 @@ exact tree equality.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from .criteria import CRITERIA, GINI
 
-__all__ = ["InductionConfig"]
+__all__ = ["InductionConfig", "SPLIT_MODES", "SPLIT_MODE_ENV"]
+
+#: recognized FindSplit strategies (see :mod:`repro.core.strategies`)
+SPLIT_MODES = ("exact", "histogram", "voted")
+
+#: environment variable selecting the split strategy when
+#: ``InductionConfig.split_mode`` is None (mirrors ``REPRO_SPMD_BACKEND``)
+SPLIT_MODE_ENV = "REPRO_SPMD_SPLIT_MODE"
 
 
 @dataclass(frozen=True)
@@ -62,6 +70,28 @@ class InductionConfig:
         O(n_attributes) collectives — same bytes and bit-identical trees,
         strictly fewer latency charges.  Default on; set False for the
         per-attribute collective schedule as an ablation.  Parallel only.
+    split_mode:
+        FindSplit strategy (see :mod:`repro.core.strategies`):
+        ``"exact"`` (the paper's exscan formulation, bit-identical to the
+        serial reference), ``"histogram"`` (continuous attributes pre-binned
+        at presort; per-(node, bin, class) count cubes globalized through
+        one fused allreduce per level), ``"voted"`` (histogram plus PV-Tree
+        local top-k attribute voting so only winning attributes'
+        statistics are globalized — the communication-efficient mode), or
+        ``None`` to defer to the ``REPRO_SPMD_SPLIT_MODE`` environment
+        variable (default exact).  Exact never changes the tree;
+        histogram/voted are approximations and *do* shape it, so the
+        resolved mode joins the checkpoint compatibility fingerprint.
+    n_bins:
+        Histogram/voted modes: target number of bins per continuous
+        attribute (bin edges are drawn from the globally sorted order at
+        presort; duplicate edges collapse, so the effective bin count can
+        be lower).  ``n_bins >= n_distinct`` reproduces exact trees
+        bit-identically.
+    vote_top_k:
+        Voted mode: number of attributes each rank votes for per node,
+        and the number of globally elected attributes whose statistics
+        are globalized (PV-Tree's k).
     backend:
         SPMD execution engine for the parallel run: ``"thread"``,
         ``"process"``, ``"cooperative"``, or ``None`` to defer to the
@@ -88,8 +118,24 @@ class InductionConfig:
     per_node_communication: bool = False
     combined_enquiry: bool = True
     fused_collectives: bool = True
+    split_mode: str | None = None
+    n_bins: int = 32
+    vote_top_k: int = 2
     backend: str | None = None
     checkpoint: object | None = None
+
+    def resolved_split_mode(self) -> str:
+        """The effective FindSplit strategy name: ``split_mode`` when set,
+        else ``REPRO_SPMD_SPLIT_MODE``, else ``"exact"`` (the same
+        precedence ``backend`` / ``REPRO_SPMD_BACKEND`` uses)."""
+        mode = self.split_mode
+        if mode is None:
+            mode = os.environ.get(SPLIT_MODE_ENV, "").strip() or "exact"
+        if mode not in SPLIT_MODES:
+            raise ValueError(
+                f"split mode must be one of {SPLIT_MODES}, got {mode!r}"
+            )
+        return mode
 
     def __post_init__(self):
         if self.checkpoint is not None:
@@ -123,6 +169,15 @@ class InductionConfig:
             )
         if self.max_update_block is not None and self.max_update_block <= 0:
             raise ValueError("max_update_block must be positive")
+        if self.split_mode is not None and self.split_mode not in SPLIT_MODES:
+            raise ValueError(
+                f"split_mode must be one of {SPLIT_MODES} or None, "
+                f"got {self.split_mode!r}"
+            )
+        if self.n_bins < 2:
+            raise ValueError("n_bins must be >= 2")
+        if self.vote_top_k < 1:
+            raise ValueError("vote_top_k must be >= 1")
         if self.combined_enquiry and self.per_node_communication:
             # the per-node ablation un-batches what combined_enquiry
             # batches; since combined_enquiry is on by default, coerce it

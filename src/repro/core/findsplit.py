@@ -173,12 +173,14 @@ def _scan_candidates(
     nodes = alist.entry_nodes()
     labels = alist.labels
     values = alist.values
-    # exclusive per-class cumulative counts within each segment
-    excl = np.empty((n_local, n_classes), dtype=np.int64)
-    for j in range(n_classes):
-        onehot = labels == j
-        cum = np.cumsum(onehot)
-        excl[:, j] = cum - onehot
+    # exclusive per-class cumulative counts within each segment: one 2-D
+    # one-hot cumsum (integer math, so bit-identical to a per-class loop);
+    # built (n_classes, n) so the cumsum runs along contiguous rows, then
+    # viewed transposed — downstream math is order-agnostic
+    onehot = (labels == np.arange(n_classes)[:, None]).astype(np.int64)
+    excl = np.cumsum(onehot, axis=1)
+    excl -= onehot
+    excl = excl.T
     seg_starts = np.minimum(alist.offsets[:-1], max(n_local - 1, 0))
     seg_base = excl[seg_starts]  # rows of empty segments are unused
     left = below[nodes] + (excl - seg_base[nodes])

@@ -44,16 +44,11 @@ from ..tree.model import (
 from .attribute_lists import build_local_lists, restore_local_lists
 from .config import InductionConfig
 from .criteria import impurity
-from .findsplit import (
-    categorical_candidates,
-    continuous_candidates,
-    global_best_splits,
-    level_candidates,
-    node_class_totals,
-)
+from .findsplit import node_class_totals
 from .phases import FINDSPLIT1, FINDSPLIT2, PRESORT, timed_phase
-from .splits import candidate_beats, categorical_children_layout, pack_candidates
+from .splits import categorical_children_layout, pack_candidates
 from .splitter import LevelDecisions, ScalParCSplitPhase, SplitPhase
+from .strategies import make_strategy
 
 __all__ = ["induce_worker"]
 
@@ -74,11 +69,23 @@ def _schema_fingerprint(schema: Schema) -> str:
 def _config_fingerprint(config: InductionConfig) -> str:
     """Digest of the knobs that shape the induced tree (communication
     scheduling knobs are free to differ between the original run and a
-    resume — they never change the tree)."""
+    resume — they never change the tree).
+
+    The *resolved* split mode is part of the digest: histogram/voted
+    splits are approximations, so resuming a histogram run in exact mode
+    (or under a different bin budget / vote width) would silently graft
+    differently-shaped subtrees — that resume must fail loudly instead.
+    Mode-irrelevant knobs are masked out so e.g. an exact checkpoint
+    resumes regardless of the (unused) ``n_bins`` default.
+    """
+    mode = config.resolved_split_mode()
     return payload_digest([
         config.max_depth, config.min_split_records,
         float(config.min_improvement), config.criterion,
         config.categorical_binary_subsets, config.subset_exhaustive_limit,
+        mode,
+        config.n_bins if mode in ("histogram", "voted") else None,
+        config.vote_top_k if mode == "voted" else None,
     ])
 
 
@@ -129,6 +136,7 @@ def induce_worker(
     a bit-identical resulting tree either way.
     """
     config = config or InductionConfig()
+    strategy = make_strategy(config)
     split_phase = split_phase if split_phase is not None \
         else ScalParCSplitPhase()
     if dataset.n_records == 0:
@@ -158,6 +166,7 @@ def induce_worker(
         # Presort + initial distribution
         with timed_phase(comm, PRESORT):
             lists, n_total = build_local_lists(comm, dataset)
+            strategy.prepare(comm, lists, config, n_classes, n_total)
             split_phase.setup(comm, n_total)
         # pending[k] = (parent node, child slot, depth) of active node k
         pending = [(None, 0, 0)]
@@ -179,35 +188,18 @@ def induce_worker(
         candidate_nodes = ~terminal
 
         # ---- FindSplitI + FindSplitII ---------------------------------
-        # fused: one batched rendezvous per (collective, operator) group
-        # for the whole level, however many attributes the schema has;
-        # unfused (the ablation): 2 exscans per continuous attribute plus
-        # 1 reduce per categorical attribute, issued one by one
+        # the split strategy owns local statistics, the collective plan
+        # and candidate scoring (see repro.core.strategies); exact keeps
+        # the pre-strategy schedule bit for bit, histogram/voted swap the
+        # per-attribute exscans for count-cube allreduces
         local_best = pack_candidates(m)
         cat_state: dict[int, dict[int, tuple[np.ndarray, np.ndarray | None]]] = {}
         if bool(candidate_nodes.any()):
-            if config.fused_collectives:
-                local_best, cat_state = level_candidates(
-                    comm, lists, totals, candidate_nodes, config
-                )
-            else:
-                for alist in lists:
-                    if alist.spec.is_continuous:
-                        rows = continuous_candidates(
-                            comm, alist, totals, candidate_nodes, config
-                        )
-                    else:
-                        rows, state = categorical_candidates(
-                            comm, alist, candidate_nodes, n_classes, config
-                        )
-                        if state:
-                            cat_state[alist.attr_index] = state
-                    take = candidate_beats(rows, local_best)
-                    local_best = np.where(take[:, None], rows, local_best)
+            local_best, cat_state = strategy.level_candidates(
+                comm, lists, totals, candidate_nodes, config
+            )
             with timed_phase(comm, FINDSPLIT2):
-                best = global_best_splits(
-                    comm, local_best, fused=config.fused_collectives
-                )
+                best = strategy.global_best(comm, local_best, config)
         else:
             best = local_best
 

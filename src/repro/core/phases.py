@@ -21,19 +21,35 @@ from typing import Any, Iterator
 __all__ = [
     "PRESORT",
     "FINDSPLIT1",
+    "FINDSPLIT1_HIST",
+    "FINDSPLIT1_VOTE",
     "FINDSPLIT2",
     "PERFORMSPLIT1",
     "PERFORMSPLIT2",
     "ALL_PHASES",
+    "FINDSPLIT_PHASES",
     "timed_phase",
 ]
 
 PRESORT = "Presort"
 FINDSPLIT1 = "FindSplitI"
+#: histogram/voted strategies: globalizing the per-(node, bin, class)
+#: count cubes (a FindSplitI sub-phase; its collectives are pinned
+#: cross-rank by the conformance checker like any other phase tag)
+FINDSPLIT1_HIST = "FindSplitI.hist"
+#: voted strategy: the PV-Tree attribute-vote allreduce sub-phase
+FINDSPLIT1_VOTE = "FindSplitI.vote"
 FINDSPLIT2 = "FindSplitII"
 PERFORMSPLIT1 = "PerformSplitI"
 PERFORMSPLIT2 = "PerformSplitII"
+#: Figure 2's phase set — every phase of a default (exact-mode) run;
+#: the strategy sub-phases are deliberately not in here: they only
+#: appear under histogram/voted modes
 ALL_PHASES = (PRESORT, FINDSPLIT1, FINDSPLIT2, PERFORMSPLIT1, PERFORMSPLIT2)
+#: the phases that make up split determination across every split mode
+#: (byte-accounting group used by the per-mode communication reports
+#: and benchmarks)
+FINDSPLIT_PHASES = (FINDSPLIT1, FINDSPLIT1_HIST, FINDSPLIT1_VOTE, FINDSPLIT2)
 
 
 @contextmanager

@@ -1,0 +1,47 @@
+"""Pluggable FindSplit strategies (``InductionConfig.split_mode``).
+
+=========== =============================================================
+mode        split determination
+=========== =============================================================
+exact       the paper's exscan formulation — bit-identical to the serial
+            reference, the default
+histogram   continuous attributes pre-binned at presort; per-(node, bin,
+            class) cubes globalized through one fused allreduce per level
+voted       histogram plus PV-Tree per-node attribute voting — only the
+            elected attributes' statistics are globalized (the
+            communication-efficient mode)
+=========== =============================================================
+
+See :mod:`repro.core.strategies.base` for the contract.
+"""
+
+from __future__ import annotations
+
+from ..config import InductionConfig
+from .base import SplitStrategy, balanced_coordinator_of, categorical_ordinals
+from .exact import ExactSplitStrategy
+from .histogram import HistogramSplitStrategy
+from .voted import VotedSplitStrategy
+
+__all__ = [
+    "SplitStrategy",
+    "ExactSplitStrategy",
+    "HistogramSplitStrategy",
+    "VotedSplitStrategy",
+    "STRATEGIES",
+    "make_strategy",
+    "balanced_coordinator_of",
+    "categorical_ordinals",
+]
+
+STRATEGIES: dict[str, type[SplitStrategy]] = {
+    cls.name: cls for cls in (
+        ExactSplitStrategy, HistogramSplitStrategy, VotedSplitStrategy
+    )
+}
+
+
+def make_strategy(config: InductionConfig) -> SplitStrategy:
+    """Instantiate the strategy the config resolves to (strategies are
+    stateless, so a fresh instance per fit costs nothing)."""
+    return STRATEGIES[config.resolved_split_mode()]()

@@ -147,6 +147,23 @@ class SimulatedRunStats:
             phase_shared_bytes=phase_shared,
         )
 
+    def findsplit_bytes(self) -> int:
+        """Bytes moved by split determination (sum over ranks; traced
+        runs only): every ``FindSplit*`` phase, including the strategy
+        sub-phases ``FindSplitI.hist`` / ``FindSplitI.vote`` — the
+        quantity the split-mode ablation compares across strategies.
+        Matched by prefix so the report layer needs no knowledge of which
+        strategy ran."""
+        return sum(v for k, v in self.phase_bytes.items()
+                   if k.startswith("FindSplit"))
+
+    def findsplit_breakdown(self) -> dict:
+        """Per-phase split-determination bytes (the per-mode breakdown:
+        exact runs populate FindSplitI/II, histogram adds
+        FindSplitI.hist, voted adds FindSplitI.vote)."""
+        return {k: v for k, v in sorted(self.phase_bytes.items())
+                if k.startswith("FindSplit")}
+
     def level_durations(self) -> list[tuple[object, float]]:
         """Per-level durations derived from rank 0's level marks."""
         out = []
@@ -179,6 +196,10 @@ class SimulatedRunStats:
                 for k, v in sorted(self.phase_bytes.items())
             )
             lines.append(f"  phase traffic : {vol}")
+            lines.append(
+                f"  split volume  : {format_bytes(self.findsplit_bytes())}"
+                " (all FindSplit* phases)"
+            )
         # the measured transport counters (transport_pickled_bytes /
         # transport_shared_bytes) are deliberately NOT in this block: it
         # reports the simulated machine, which is engine-independent and
