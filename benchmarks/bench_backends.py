@@ -1,8 +1,11 @@
 """Experiment E-backends — SPMD engine comparison (thread vs process vs
-cooperative).
+cooperative vs tcp).
 
-The same ScalParC induction is executed on every registered backend and
-two axes are compared:
+The same ScalParC induction is executed on every registered backend —
+``available_backends()``, so the TCP engine's loopback multi-host jobs
+are included automatically — and two axes are compared (see
+``bench_tcp_engine.py`` for the dedicated tcp-vs-process transport
+comparison):
 
 * **wall-clock** — real seconds on this host.  The process backend runs
   compute GIL-free, so on an m-core host it overlaps up to min(p, m)

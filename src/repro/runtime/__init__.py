@@ -9,7 +9,9 @@ every byte that moves.
 *How* ranks execute is pluggable (see :mod:`repro.runtime.engines`):
 ``backend="thread"`` (default) runs ranks as synchronized threads,
 ``"process"`` as OS processes (GIL-free compute), ``"cooperative"`` under
-a deterministic round-robin scheduler with structural deadlock detection.
+a deterministic round-robin scheduler with structural deadlock detection,
+and ``"tcp"`` as processes grouped into loopback "hosts" speaking framed
+TCP — the multi-host engine (see :mod:`repro.runtime.framing`).
 All algorithm code is engine-agnostic — it only ever sees the
 :class:`Communicator` API.
 
@@ -56,6 +58,18 @@ from .errors import (
     SpmdWorkerError,
     WorkerCrashError,
 )
+from .framing import (
+    DEFAULT_MAX_FRAME,
+    FrameAssembler,
+    FrameCorruptedError,
+    FrameError,
+    FrameOversizeError,
+    FrameTruncatedError,
+    MAX_FRAME_ENV,
+    decode_frame,
+    encode_frame,
+    resolve_max_frame,
+)
 from .fusion import FusedBatch, FusedFuture, FusionError
 from .payload import payload_logical_nbytes, payload_nbytes
 from .reduction import ReduceOp, make_op
@@ -98,12 +112,19 @@ __all__ = [
     "CommObserver",
     "Communicator",
     "DEFAULT_BACKEND",
+    "DEFAULT_MAX_FRAME",
     "DEFAULT_SHM_THRESHOLD",
     "DEFAULT_TIMEOUT",
+    "FrameAssembler",
+    "FrameCorruptedError",
+    "FrameError",
+    "FrameOversizeError",
+    "FrameTruncatedError",
     "FusedBatch",
     "FusedFuture",
     "FusionError",
     "InvalidRankError",
+    "MAX_FRAME_ENV",
     "LogicalOp",
     "NullPerf",
     "ReduceOp",
@@ -124,7 +145,9 @@ __all__ = [
     "WorkerCrashError",
     "available_backends",
     "check_traces",
+    "decode_frame",
     "decode_payload",
+    "encode_frame",
     "encode_payload",
     "format_trace_report",
     "get_engine",
@@ -136,6 +159,7 @@ __all__ = [
     "reduction",
     "register_engine",
     "resolve_backend",
+    "resolve_max_frame",
     "resolve_shm_threshold",
     "resolve_timeout",
     "run_spmd",

@@ -9,6 +9,8 @@ name       execution model                                       best for
 thread     one Python thread per rank (GIL-serialized compute)   default; shared-memory payloads
 process    one OS process per rank (GIL-free)                    wall-clock speedup on multi-core hosts
 cooperative round-robin coroutine scheduling, one rank runnable  large perf-model sweeps; instant deadlock detection
+tcp        one OS process per rank, grouped into loopback        multi-host jobs; fault-injection-tested
+           "hosts", coordinated over framed TCP sockets
 ========== ===================================================== =========
 """
 
@@ -55,6 +57,13 @@ def _cooperative_factory() -> SpmdEngine:
     return CooperativeEngine()
 
 
+def _tcp_factory() -> SpmdEngine:
+    from .tcp import TcpEngine
+
+    return TcpEngine()
+
+
 register_engine("thread", _thread_factory)
 register_engine("process", _process_factory)
 register_engine("cooperative", _cooperative_factory)
+register_engine("tcp", _tcp_factory)

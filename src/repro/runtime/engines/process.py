@@ -381,8 +381,51 @@ class ProcessCommunicator(Communicator):
         if plan is None:
             return None
         new_ctx, new_rank, new_size = plan
-        return ProcessCommunicator(self._conn, new_ctx, new_rank, new_size,
-                                   perf=self.perf, shm=self._shm)
+        # type(self): subclasses (the TCP backend's communicator) split
+        # into their own kind, sharing the same transport handle
+        return type(self)(self._conn, new_ctx, new_rank, new_size,
+                          perf=self.perf, shm=self._shm)
+
+
+def _run_worker(conn: Any, comm: ProcessCommunicator, worker: Callable,
+                args: tuple, kwargs: dict, perf: Any | None,
+                recorder: Any | None) -> None:
+    """Run ``worker`` on one rank and report its outcome over ``conn``
+    using the final-message protocol every engine router understands
+    (``done`` / ``aborted`` / ``error``, each carrying the perf tracker
+    and the trace events).  Shared by the process and TCP backends."""
+    # traces ride home on the final protocol message, whatever its kind,
+    # so a worker abort still delivers the events recorded before it
+    events = recorder.events if recorder is not None else None
+
+    def final(msg: tuple) -> None:
+        try:
+            conn.send(msg)
+        except (OSError, ValueError):
+            pass                # router already gone; nobody left to tell
+
+    try:
+        result = worker(comm, *args, **kwargs)
+    except CollectiveAbortedError as exc:
+        final(("aborted", str(exc), exc.origin_rank,
+               traceback.format_exc(), perf, events))
+    except BaseException as exc:
+        try:
+            blob = pickle.dumps(exc)
+        except Exception:
+            blob = None
+        final(("error", f"{type(exc).__name__}: {exc}",
+               traceback.format_exc(), blob, perf, events))
+    else:
+        try:
+            conn.send(("done", result, perf, events))
+        except (OSError, ValueError):
+            pass
+        except Exception as exc:      # unpicklable worker result
+            final(("error",
+                   f"worker result not transferable: "
+                   f"{type(exc).__name__}: {exc}",
+                   traceback.format_exc(), None, perf, events))
 
 
 def _child_main(conn: Any, rank: int, size: int, worker: Callable,
@@ -396,29 +439,8 @@ def _child_main(conn: Any, rank: int, size: int, worker: Callable,
     if trace_on:
         recorder = TraceRecorder(rank, size)
         comm._tracer = recorder
-    # traces ride home on the final protocol message, whatever its kind,
-    # so a worker abort still delivers the events recorded before it
-    events = recorder.events if recorder is not None else None
     try:
-        result = worker(comm, *args, **kwargs)
-    except CollectiveAbortedError as exc:
-        conn.send(("aborted", str(exc), exc.origin_rank,
-                   traceback.format_exc(), perf, events))
-    except BaseException as exc:
-        try:
-            blob = pickle.dumps(exc)
-        except Exception:
-            blob = None
-        conn.send(("error", f"{type(exc).__name__}: {exc}",
-                   traceback.format_exc(), blob, perf, events))
-    else:
-        try:
-            conn.send(("done", result, perf, events))
-        except Exception as exc:      # unpicklable worker result
-            conn.send(("error",
-                       f"worker result not transferable: "
-                       f"{type(exc).__name__}: {exc}",
-                       traceback.format_exc(), None, perf, events))
+        _run_worker(conn, comm, worker, args, kwargs, perf, recorder)
     finally:
         if shm is not None:
             shm.shutdown()
@@ -568,16 +590,14 @@ class _Router:
         for rank in list(self.pending):
             self._reply_abort(rank)
 
-    def _on_crash(self, rank: int) -> None:
+    def _on_crash(self, rank: int, message: str | None = None) -> None:
         self.alive.discard(rank)
         if rank not in self.finished:
             self.finished.add(rank)
-            self.failures[rank] = WorkerCrashError(
+            message = message or \
                 f"rank {rank} worker process died unexpectedly"
-            )
-            self._set_error(
-                f"rank {rank} worker process died unexpectedly", rank
-            )
+            self.failures[rank] = WorkerCrashError(message)
+            self._set_error(message, rank)
 
     # -- per-message handling ------------------------------------------
 

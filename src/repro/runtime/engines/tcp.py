@@ -1,0 +1,934 @@
+"""The ``tcp`` backend: ranks as OS processes on loopback multi-process
+"hosts", coordinated over TCP sockets — the multi-host engine.
+
+Topology (layered, after pytorch-xla's host × local-rank orchestration):
+
+.. code-block:: text
+
+    engine parent ──────────────── binds 127.0.0.1:0, runs the router
+      ├─ host process 0 ─┬─ rank 0 ──┐
+      │   (control conn) └─ rank 1 ──┤  each rank: one TCP connection
+      └─ host process 1 ─┬─ rank 2 ──┤  to the router, length-prefixed
+          (control conn) └─ rank 3 ──┘  binary frames (runtime.framing)
+
+The engine launches ``REPRO_SPMD_TCP_HOSTS`` *host* processes (loopback
+stand-ins for machines); each host forks its contiguous block of rank
+processes and keeps a control connection to the router.  Every rank
+dials the router itself — with jittered retry/backoff — and performs a
+rendezvous handshake: it announces ``(job, rank, pid)`` and blocks until
+the router has assembled the whole world and answers with the *world
+manifest* (job id, size, host→ranks map, pids).  Only then do workers
+start, so the handshake doubles as the bootstrap barrier.
+
+The router is the process backend's router verbatim (same collective
+rendezvous, mailboxes, combiner shipping, abort discipline) over a
+``selectors`` loop instead of pipes: children write only requests, the
+router writes only replies, so neither side ever blocks writing while
+the other also writes.  The shared-memory data plane is deliberately
+*off* — hosts model separate machines, so every payload honestly crosses
+the socket and ``transport_pickled_bytes`` measures true wire bytes
+(header included), while the simulated cost model keeps pricing logical
+payload sizes exactly as on every other backend.
+
+Failure detection is two-tiered:
+
+* **EOF** — a dying rank (or an ``os._exit``) closes its socket; the
+  router converts the EOF into :class:`WorkerCrashError` and aborts the
+  survivors, exactly like a pipe EOF on the process backend.
+* **Heartbeats** — each rank (and each host) runs a daemon thread that
+  sends a tiny ``hb`` frame every ``REPRO_SPMD_TCP_HB`` seconds.  A peer
+  whose frames stop for ``REPRO_SPMD_TCP_HB_TIMEOUT`` seconds is
+  declared dead even though its socket never delivered a FIN — the
+  "host fell off the network" case loopback EOFs cannot model.  A dead
+  *host* takes all of its local ranks with it (the router kills the
+  orphans by pid).
+
+Crash recovery reuses the process backend's supervisor unchanged: with a
+:class:`~repro.runtime.checkpoint.CheckpointConfig` attached, rank/host
+death tears the job down, the world is respawned (optionally elastically
+shrunk, p → p′) and resumes from the last sealed cut.  Traces ship home
+on final frames, so partial traces survive aborts and the conformance
+checker can pin a hard-killed rank.
+
+All socket waits are bounded: connect retries and the rendezvous give up
+after a budget derived from ``REPRO_SPMD_TIMEOUT``, rank-side reads
+carry a socket timeout above the router's collective deadline, and the
+router's selector loop wakes periodically for heartbeat accounting — a
+hung peer always fails loudly instead of stalling the job.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import random
+import selectors
+import signal
+import socket
+import threading
+import time
+from typing import Any, Callable, Sequence
+
+from ..errors import (
+    CollectiveAbortedError,
+    SpmdError,
+    SpmdWorkerError,
+    WorkerCrashError,
+)
+from ..framing import (
+    FrameAssembler,
+    FrameError,
+    FrameTruncatedError,
+    decode_frame,
+    encode_frame,
+    resolve_max_frame,
+)
+from ..tracing import TraceRecorder
+from .base import resolve_timeout
+from .process import (
+    _ABORT_GRACE,
+    _ROOT_CTX,
+    _mp_context,
+    _Router,
+    _run_worker,
+    ProcessCommunicator,
+    ProcessEngine,
+)
+
+__all__ = [
+    "HB_ENV",
+    "HB_TIMEOUT_ENV",
+    "HOSTS_ENV",
+    "RendezvousError",
+    "TcpCommunicator",
+    "TcpEngine",
+    "check_hello",
+    "host_topology",
+    "resolve_hb_interval",
+    "resolve_hb_timeout",
+    "resolve_tcp_hosts",
+]
+
+#: number of loopback "hosts" the engine launches (env override)
+HOSTS_ENV = "REPRO_SPMD_TCP_HOSTS"
+
+#: heartbeat interval in seconds (env override)
+HB_ENV = "REPRO_SPMD_TCP_HB"
+
+#: seconds of peer silence before the router declares it dead
+HB_TIMEOUT_ENV = "REPRO_SPMD_TCP_HB_TIMEOUT"
+
+DEFAULT_HB_INTERVAL = 0.5
+
+#: per-parent job counter, part of the job id every hello must echo
+_JOB_SEQ = itertools.count()
+
+
+class RendezvousError(SpmdError):
+    """The TCP bootstrap failed: the world never assembled (a worker
+    could not reach the coordinator, a hello was invalid/duplicated, or
+    the rendezvous deadline passed with ranks missing)."""
+
+
+# ----------------------------------------------------------------------
+# topology & knob resolution
+# ----------------------------------------------------------------------
+
+
+def resolve_tcp_hosts(size: int, n_hosts: int | None = None) -> int:
+    """Number of loopback host processes: explicit argument, then the
+    ``REPRO_SPMD_TCP_HOSTS`` env var, then 2 (clamped to [1, size])."""
+    if n_hosts is None:
+        env = os.environ.get(HOSTS_ENV)
+        if env:
+            try:
+                n_hosts = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"{HOSTS_ENV} must be an integer, got {env!r}"
+                ) from None
+        else:
+            n_hosts = 2
+    if n_hosts <= 0:
+        raise ValueError(f"host count must be positive, got {n_hosts}")
+    return min(n_hosts, size)
+
+
+def host_topology(size: int, n_hosts: int) -> list[list[int]]:
+    """Partition ``size`` ranks over ``n_hosts`` hosts in contiguous,
+    balanced blocks (the first ``size % n_hosts`` hosts get one extra),
+    mirroring the local-rank × host layering of real multi-host jobs."""
+    n_hosts = min(max(1, n_hosts), size)
+    base, extra = divmod(size, n_hosts)
+    topo: list[list[int]] = []
+    start = 0
+    for h in range(n_hosts):
+        n = base + (1 if h < extra else 0)
+        topo.append(list(range(start, start + n)))
+        start += n
+    return topo
+
+
+def resolve_hb_interval() -> float:
+    env = os.environ.get(HB_ENV)
+    if not env:
+        return DEFAULT_HB_INTERVAL
+    try:
+        interval = float(env)
+    except ValueError:
+        raise ValueError(
+            f"{HB_ENV} must be a number of seconds, got {env!r}"
+        ) from None
+    if interval <= 0:
+        raise ValueError(f"heartbeat interval must be positive, got {interval}")
+    return interval
+
+
+def resolve_hb_timeout(interval: float) -> float:
+    env = os.environ.get(HB_TIMEOUT_ENV)
+    if env:
+        try:
+            hb_timeout = float(env)
+        except ValueError:
+            raise ValueError(
+                f"{HB_TIMEOUT_ENV} must be a number of seconds, got {env!r}"
+            ) from None
+    else:
+        # generous by default: EOFs catch ordinary deaths instantly, the
+        # heartbeat only needs to catch silent wedges, and CI machines
+        # starve threads for whole seconds under load
+        hb_timeout = max(10.0, 20.0 * interval)
+    if hb_timeout <= interval:
+        raise ValueError(
+            f"heartbeat timeout ({hb_timeout}s) must exceed the "
+            f"interval ({interval}s)"
+        )
+    return hb_timeout
+
+
+def _read_bound(timeout: float) -> float:
+    """Rank-side socket read timeout: above the router's collective
+    deadline (the router aborts first in every healthy failure mode) but
+    still finite, so a dead router can never hang a worker."""
+    return timeout + 2 * _ABORT_GRACE + 10.0
+
+
+def _bootstrap_budget(timeout: float) -> float:
+    """Seconds the rendezvous may take before the world is declared
+    unassemblable; proportional to the configured wait timeout but never
+    so short that process spawn latency alone breaks bootstrap."""
+    return max(10.0, timeout)
+
+
+def check_hello(obj: Any, *, job_id: str, size: int, n_hosts: int,
+                taken_ranks=(), taken_hosts=()) -> tuple:
+    """Validate one rendezvous hello frame.
+
+    Returns ``("rank", rank, pid, None)`` or
+    ``("host", host_id, pid, rank_pids)``; raises
+    :class:`RendezvousError` on a malformed frame, a job-id mismatch, an
+    out-of-range ordinal, or a duplicate claim.
+    """
+    try:
+        kind = obj[0]
+        if kind == "hello":
+            _, job, rank, pid = obj
+            ident, limit, taken, what = rank, size, taken_ranks, "rank"
+            extra = None
+        elif kind == "host_hello":
+            _, job, host_id, pid, extra = obj
+            ident, limit, taken, what = host_id, n_hosts, taken_hosts, "host"
+            extra = dict(extra)
+        else:
+            raise RendezvousError(
+                f"unexpected {kind!r} frame during rendezvous"
+            )
+    except RendezvousError:
+        raise
+    except Exception:
+        raise RendezvousError(f"malformed hello frame: {obj!r}") from None
+    if job != job_id:
+        raise RendezvousError(
+            f"{what} hello for job {job!r}, expected {job_id!r} "
+            f"(stale worker from another job?)"
+        )
+    if not isinstance(ident, int) or not 0 <= ident < limit:
+        raise RendezvousError(
+            f"{what} ordinal {ident!r} outside [0, {limit})"
+        )
+    if ident in taken:
+        raise RendezvousError(f"duplicate hello for {what} {ident}")
+    return what, ident, pid, extra
+
+
+# ----------------------------------------------------------------------
+# shared transport pieces
+# ----------------------------------------------------------------------
+
+
+class _FramedConn:
+    """Blocking framed-message transport over one TCP socket.
+
+    ``send`` is thread-safe (one lock serializes whole frames), so the
+    heartbeat thread can interleave with the worker thread without ever
+    splicing bytes mid-frame.  ``recv_frame`` returns ``(obj, nbytes)``
+    with the exact wire size, honours the socket timeout, and raises
+    ``EOFError`` on a clean close.
+    """
+
+    __slots__ = ("sock", "_wlock", "_rbuf", "_max")
+
+    def __init__(self, sock: socket.socket, *, max_frame: int | None = None):
+        self.sock = sock
+        self._wlock = threading.Lock()
+        self._rbuf = bytearray()
+        self._max = resolve_max_frame(max_frame)
+
+    def send_frame(self, frame: bytes) -> None:
+        with self._wlock:
+            self.sock.sendall(frame)
+
+    def send(self, obj: Any) -> None:
+        self.send_frame(encode_frame(obj, max_frame=self._max))
+
+    def recv_frame(self) -> tuple[Any, int]:
+        while True:
+            if self._rbuf:
+                try:
+                    obj, used = decode_frame(self._rbuf, max_frame=self._max)
+                except FrameTruncatedError:
+                    pass                # need more bytes
+                else:
+                    del self._rbuf[:used]
+                    return obj, used
+            chunk = self.sock.recv(1 << 16)
+            if not chunk:
+                raise EOFError("connection closed by peer")
+            self._rbuf += chunk
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class _Heartbeat:
+    """Daemon thread beating ``hb`` frames onto a framed connection so
+    the router can tell "computing" from "vanished"."""
+
+    def __init__(self, conn: _FramedConn, interval: float):
+        self._conn = conn
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name="spmd-tcp-heartbeat", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                self._conn.send(("hb",))
+            except (OSError, ValueError, FrameError):
+                return              # connection gone; the router knows
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout=1.0)
+
+
+def _connect_with_retry(addr: tuple[str, int], timeout: float,
+                        who: str) -> socket.socket:
+    """Dial the coordinator with jittered exponential backoff, bounded
+    by the bootstrap budget."""
+    budget = _bootstrap_budget(timeout)
+    deadline = time.monotonic() + budget
+    delay = 0.02
+    while True:
+        remaining = deadline - time.monotonic()
+        try:
+            sock = socket.create_connection(
+                addr, timeout=max(0.1, min(2.0, remaining))
+            )
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            return sock
+        except OSError as exc:
+            if time.monotonic() + delay >= deadline:
+                raise RendezvousError(
+                    f"{who}: could not reach the coordinator at "
+                    f"{addr[0]}:{addr[1]} within {budget:.1f}s: {exc}"
+                ) from exc
+            time.sleep(delay * (1.0 + random.random()))
+            delay = min(delay * 2, 1.0)
+
+
+# ----------------------------------------------------------------------
+# rank side
+# ----------------------------------------------------------------------
+
+
+class TcpCommunicator(ProcessCommunicator):
+    """Rank-side communicator speaking framed TCP to the router.
+
+    Identical request/reply protocol to the process backend's pipe
+    communicator; only the transport differs.  Transport accounting
+    counts whole frames (header included) — the bytes that really hit
+    the wire.  The shared-memory data plane is never attached: on a
+    multi-host transport every payload must actually travel.
+    """
+
+    #: the world communicator's heartbeat thread (None on split comms)
+    _heartbeat: _Heartbeat | None = None
+
+    def _raw_send(self, msg: tuple) -> None:
+        frame = encode_frame(msg)
+        self._count_transport(len(frame), 0)
+        try:
+            self._conn.send_frame(frame)
+        except OSError as exc:
+            raise CollectiveAbortedError(
+                f"connection to the tcp coordinator lost: {exc}"
+            ) from exc
+
+    def _recv_msg(self) -> tuple:
+        try:
+            obj, nbytes = self._conn.recv_frame()
+        except TimeoutError as exc:      # socket read bound expired
+            raise CollectiveAbortedError(
+                "no reply from the tcp coordinator within the socket "
+                "read bound — coordinator unreachable?"
+            ) from exc
+        except EOFError as exc:
+            raise CollectiveAbortedError(
+                "connection to the tcp coordinator closed"
+            ) from exc
+        except OSError as exc:
+            raise CollectiveAbortedError(
+                f"connection to the tcp coordinator broken: {exc}"
+            ) from exc
+        self._count_transport(nbytes, 0)
+        return obj
+
+
+def _expect_welcome(obj: Any, job_id: str, size: int) -> dict:
+    if not (isinstance(obj, tuple) and len(obj) == 2
+            and obj[0] == "welcome"):
+        raise RendezvousError(f"expected a welcome frame, got {obj!r}")
+    manifest = obj[1]
+    if manifest.get("job") != job_id or manifest.get("size") != size:
+        raise RendezvousError(
+            f"world manifest mismatch: got job={manifest.get('job')!r} "
+            f"size={manifest.get('size')!r}, expected job={job_id!r} "
+            f"size={size}"
+        )
+    return manifest
+
+
+def _rank_main(addr: tuple[str, int], job_id: str, rank: int, size: int,
+               worker: Callable, args: tuple, kwargs: dict,
+               perf: Any | None, trace_on: bool, timeout: float,
+               hb_interval: float, max_frame: int) -> None:
+    sock = _connect_with_retry(addr, timeout, f"rank {rank}")
+    sock.settimeout(_read_bound(timeout))
+    conn = _FramedConn(sock, max_frame=max_frame)
+    hb = None
+    try:
+        conn.send(("hello", job_id, rank, os.getpid()))
+        obj, _ = conn.recv_frame()      # blocks until the world assembled
+        _expect_welcome(obj, job_id, size)
+        comm = TcpCommunicator(conn, _ROOT_CTX, rank, size, perf=perf,
+                               shm=None)
+        hb = _Heartbeat(conn, hb_interval)
+        comm._heartbeat = hb
+        hb.start()
+        recorder = None
+        if trace_on:
+            recorder = TraceRecorder(rank, size)
+            comm._tracer = recorder
+        _run_worker(conn, comm, worker, args, kwargs, perf, recorder)
+    finally:
+        if hb is not None:
+            hb.stop()
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# host side
+# ----------------------------------------------------------------------
+
+
+def _host_main(addr: tuple[str, int], job_id: str, host_id: int,
+               ranks: list[int], size: int, worker: Callable, args: tuple,
+               kwargs: dict, perf_by_rank: dict, trace_on: bool,
+               timeout: float, hb_interval: float, max_frame: int) -> None:
+    """One loopback "host": fork the local rank processes, then hold a
+    control connection to the router (manifest + heartbeats) until told
+    to shut down — at which point the local ranks are reaped.  Killing
+    this process is the "host died" fault: its control EOF (or heartbeat
+    silence) makes the router declare every local rank dead."""
+    ctx = _mp_context()
+    procs = []
+    for rank in ranks:
+        procs.append(ctx.Process(
+            target=_rank_main,
+            args=(addr, job_id, rank, size, worker, args, kwargs,
+                  perf_by_rank.get(rank), trace_on, timeout, hb_interval,
+                  max_frame),
+            name=f"spmd-tcp-rank-{rank}", daemon=True,
+        ))
+    for p in procs:
+        p.start()
+
+    def _reap(*_sig) -> None:
+        for p in procs:
+            try:
+                p.terminate()
+            except Exception:
+                pass
+        os._exit(1)
+
+    # SIGTERM (engine cleanup) must not orphan the local ranks
+    signal.signal(signal.SIGTERM, _reap)
+
+    conn = None
+    try:
+        sock = _connect_with_retry(addr, timeout, f"host {host_id}")
+        conn = _FramedConn(sock, max_frame=max_frame)
+        sock.settimeout(_read_bound(timeout))
+        conn.send(("host_hello", job_id, host_id, os.getpid(),
+                   {r: p.pid for r, p in zip(ranks, procs)}))
+        obj, _ = conn.recv_frame()      # the bootstrap barrier
+        _expect_welcome(obj, job_id, size)
+        sock.settimeout(max(0.05, hb_interval))
+        while True:
+            try:
+                obj, _ = conn.recv_frame()
+            except TimeoutError:
+                try:
+                    conn.send(("hb",))
+                except (OSError, FrameError):
+                    break
+                continue
+            except (EOFError, OSError):
+                break                   # router gone: tear down
+            if obj and obj[0] == "shutdown":
+                break
+    finally:
+        for p in procs:
+            p.terminate()
+            p.join(timeout=5.0)
+        if conn is not None:
+            conn.close()
+
+
+# ----------------------------------------------------------------------
+# router (engine-parent) side
+# ----------------------------------------------------------------------
+
+
+class _PidHandle:
+    """Process-handle shim for a grandchild rank process the parent can
+    only reach by pid (the host, not the parent, forked it)."""
+
+    __slots__ = ("pid",)
+
+    def __init__(self, pid: int | None = None):
+        self.pid = pid
+
+    def is_alive(self) -> bool:
+        if self.pid is None:
+            return False
+        try:
+            os.kill(self.pid, 0)
+            return True
+        except OSError:
+            return False
+
+    def terminate(self) -> None:
+        if self.pid is not None:
+            try:
+                os.kill(self.pid, signal.SIGKILL)
+            except OSError:
+                pass
+
+    def join(self, timeout: float | None = None) -> None:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while self.is_alive():
+            if deadline is not None and time.monotonic() >= deadline:
+                return
+            time.sleep(0.02)
+
+
+class _Peer:
+    """Router-side state of one accepted connection (rank or host)."""
+
+    __slots__ = ("sock", "assembler", "kind", "ident", "last_seen",
+                 "closed")
+
+    def __init__(self, sock: socket.socket, max_frame: int):
+        self.sock = sock
+        self.assembler = FrameAssembler(max_frame=max_frame)
+        self.kind: str | None = None      # "rank" | "host"
+        self.ident: int | None = None
+        self.last_seen = time.monotonic()
+        self.closed = False
+
+    def send(self, msg: tuple) -> None:
+        """Frame + blocking send (the protocol discipline guarantees the
+        peer is reading whenever the router writes)."""
+        if self.closed:
+            raise OSError("peer connection closed")
+        self.sock.sendall(encode_frame(msg))
+
+    def close(self) -> None:
+        self.closed = True
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class _TcpRouter(_Router):
+    """The process backend's router over a selector loop of framed
+    sockets, plus rendezvous bootstrap, heartbeat liveness, and
+    host-death fan-out."""
+
+    def __init__(self, size: int, observer: Any | None,
+                 rank_perf: Sequence[Any] | None, timeout: float, *,
+                 listener: socket.socket, job_id: str,
+                 topo: list[list[int]], hb_timeout: float,
+                 max_frame: int):
+        super().__init__(size, [None] * size,
+                         [_PidHandle() for _ in range(size)],
+                         observer, rank_perf, timeout)
+        self.listener = listener
+        self.job_id = job_id
+        self.topo = topo
+        self.host_of = {r: h for h, ranks in enumerate(topo) for r in ranks}
+        self.hb_timeout = hb_timeout
+        self.max_frame = max_frame
+        self.sel = selectors.DefaultSelector()
+        self.peers: set[_Peer] = set()
+        self.host_conns: dict[int, _Peer] = {}
+        self.dead_hosts: set[int] = set()
+        self.manifest: dict = {}
+        self._host_pids: dict[int, int] = {}
+        self._shutting_down = False
+
+    # -- bootstrap ------------------------------------------------------
+
+    def bootstrap(self, budget: float) -> None:
+        """Assemble the world: accept every rank and host connection,
+        validate the hellos, then release everyone with the manifest."""
+        deadline = time.monotonic() + budget
+        need_ranks = set(range(self.size))
+        need_hosts = set(range(len(self.topo)))
+        self.sel.register(self.listener, selectors.EVENT_READ, "listener")
+        while need_ranks or need_hosts:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise RendezvousError(
+                    f"rendezvous timed out after {budget:.1f}s: still "
+                    f"missing rank(s) {sorted(need_ranks)} and host(s) "
+                    f"{sorted(need_hosts)}"
+                )
+            for key, _ in self.sel.select(min(remaining, 0.5)):
+                if key.data == "listener":
+                    self._accept()
+                    continue
+                peer = key.data
+                chunk = self._recv_chunk(peer)
+                if chunk is None:
+                    self._unregister(peer)
+                    if peer.kind is not None:
+                        raise RendezvousError(
+                            f"{peer.kind} {peer.ident} disconnected "
+                            f"during rendezvous"
+                        )
+                    continue
+                for obj, _n in peer.assembler.feed(chunk):
+                    if obj and obj[0] == "hb":
+                        continue
+                    self._hello(peer, obj, need_ranks, need_hosts)
+        port = self.listener.getsockname()[1]
+        self.manifest = {
+            "job": self.job_id,
+            "size": self.size,
+            "transport": "tcp",
+            "port": port,
+            "hosts": {h: list(ranks) for h, ranks in enumerate(self.topo)},
+            "host_pids": {h: p for h, p in self._host_pids.items()},
+            "rank_pids": {r: self.procs[r].pid for r in range(self.size)},
+        }
+        welcome = ("welcome", self.manifest)
+        for peer in self.host_conns.values():
+            peer.send(welcome)
+        for rank in range(self.size):
+            self.conns[rank].send(welcome)
+
+    def _hello(self, peer: _Peer, obj: Any, need_ranks: set[int],
+               need_hosts: set[int]) -> None:
+        kind, ident, pid, extra = check_hello(
+            obj, job_id=self.job_id, size=self.size,
+            n_hosts=len(self.topo),
+            taken_ranks=set(range(self.size)) - need_ranks,
+            taken_hosts=set(range(len(self.topo))) - need_hosts,
+        )
+        peer.kind, peer.ident = kind, ident
+        if kind == "rank":
+            self.conns[ident] = peer
+            self.procs[ident].pid = pid
+            need_ranks.discard(ident)
+        else:
+            self.host_conns[ident] = peer
+            self._host_pids[ident] = pid
+            for rank, rank_pid in (extra or {}).items():
+                if 0 <= rank < self.size and self.procs[rank].pid is None:
+                    self.procs[rank].pid = rank_pid
+            need_hosts.discard(ident)
+
+    def _accept(self) -> None:
+        try:
+            sock, _addr = self.listener.accept()
+        except OSError:
+            return
+        if self.manifest:               # late knock after bootstrap
+            sock.close()
+            return
+        sock.setblocking(True)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        peer = _Peer(sock, self.max_frame)
+        self.peers.add(peer)
+        self.sel.register(sock, selectors.EVENT_READ, peer)
+
+    # -- selector plumbing ---------------------------------------------
+
+    def _recv_chunk(self, peer: _Peer) -> bytes | None:
+        """One non-blocking-ish read; ``None`` means EOF/broken."""
+        try:
+            chunk = peer.sock.recv(1 << 16)
+        except (OSError, ValueError):
+            return None
+        return chunk or None
+
+    def _unregister(self, peer: _Peer) -> None:
+        try:
+            self.sel.unregister(peer.sock)
+        except (KeyError, ValueError, OSError):
+            pass
+        peer.close()
+        self.peers.discard(peer)
+
+    # -- liveness -------------------------------------------------------
+
+    def _peer_eof(self, peer: _Peer, reason: str) -> None:
+        self._unregister(peer)
+        if peer.kind == "rank":
+            rank = peer.ident
+            if rank in self.finished:
+                self.alive.discard(rank)
+            else:
+                self._on_crash(rank, f"rank {rank} {reason}")
+        elif peer.kind == "host":
+            self._host_down(peer.ident, reason)
+
+    def _host_down(self, host_id: int, reason: str) -> None:
+        """A host died: every local rank not already finished dies with
+        it (their processes are killed — they are orphans now)."""
+        if self._shutting_down or host_id in self.dead_hosts:
+            return
+        self.dead_hosts.add(host_id)
+        peer = self.host_conns.get(host_id)
+        if peer is not None:
+            self._unregister(peer)
+        for rank in self.topo[host_id]:
+            if rank in self.finished:
+                continue
+            self.procs[rank].terminate()
+            self._on_crash(
+                rank, f"rank {rank} lost: host {host_id} {reason}"
+            )
+
+    def _check_heartbeats(self, now: float) -> None:
+        for peer in list(self.peers):
+            if peer.kind is None or peer.closed:
+                continue
+            if now - peer.last_seen <= self.hb_timeout:
+                continue
+            silent = f"went silent (no frames for {self.hb_timeout:.1f}s)"
+            if peer.kind == "rank" and peer.ident not in self.finished:
+                self.procs[peer.ident].terminate()
+                self._unregister(peer)
+                self._on_crash(peer.ident, f"rank {peer.ident} {silent}")
+            elif peer.kind == "host":
+                self._host_down(peer.ident, silent)
+
+    # -- main loop ------------------------------------------------------
+
+    def _loop_timeout(self) -> float:
+        cap = max(0.05, min(self.hb_timeout / 4.0, 0.25))
+        wait = self._wait_timeout()
+        return cap if wait is None else max(0.0, min(wait, cap))
+
+    def run(self) -> None:
+        while self.alive:
+            events = self.sel.select(self._loop_timeout())
+            now = time.monotonic()
+            for key, _ in events:
+                if key.data == "listener":
+                    self._accept()
+                    continue
+                peer = key.data
+                chunk = self._recv_chunk(peer)
+                if chunk is None:
+                    self._peer_eof(peer, "connection closed unexpectedly")
+                    continue
+                peer.last_seen = now
+                try:
+                    frames = peer.assembler.feed(chunk)
+                except FrameError as exc:
+                    self._peer_eof(peer, f"sent a broken frame ({exc})")
+                    continue
+                for obj, _n in frames:
+                    if obj and obj[0] == "hb":
+                        continue
+                    if peer.kind == "rank":
+                        self._handle(peer.ident, obj)
+                    # hosts only ever send hb after bootstrap
+            self._fire_timeout()
+            self._check_heartbeats(time.monotonic())
+
+    # -- teardown helpers (called by the engine) ------------------------
+
+    def shutdown_hosts(self) -> None:
+        self._shutting_down = True
+        for peer in self.host_conns.values():
+            if not peer.closed:
+                try:
+                    peer.send(("shutdown",))
+                except (OSError, FrameError):
+                    pass
+
+    def kill_stragglers(self) -> None:
+        for handle in self.procs:
+            if handle.is_alive():
+                handle.terminate()
+
+    def close(self) -> None:
+        for peer in list(self.peers):
+            self._unregister(peer)
+        try:
+            self.sel.close()
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+
+
+class TcpEngine(ProcessEngine):
+    """Runs ranks as processes on loopback host groups over TCP.
+
+    Inherits the process backend's retry supervisor verbatim: with a
+    checkpoint config, rank/host death triggers respawn from the last
+    sealed manifest with exponential backoff, elastically shrinking the
+    world (p → p′) from the second restart.
+    """
+
+    name = "tcp"
+    detects_deadlock = False
+
+    #: diagnostic: the world manifest of the most recent bootstrap
+    #: (job id, port, host→ranks map, pids); tests assert topology here
+    last_world: dict = {}
+
+    def _run_once(
+        self,
+        size: int,
+        worker: Callable[..., Any],
+        args: Sequence[Any] = (),
+        kwargs: dict | None = None,
+        *,
+        observer: Any | None = None,
+        rank_perf: Sequence[Any] | None = None,
+        timeout: float | None = None,
+        trace: Any | None = None,
+    ) -> list:
+        kwargs = kwargs or {}
+        timeout = resolve_timeout(timeout)
+        trace_on = trace is not None
+        if trace_on:
+            trace.begin(size, backend=self.name)
+
+        topo = host_topology(size, resolve_tcp_hosts(size))
+        hb_interval = resolve_hb_interval()
+        hb_timeout = resolve_hb_timeout(hb_interval)
+        max_frame = resolve_max_frame()
+        job_id = f"tcp{os.getpid()}j{next(_JOB_SEQ)}"
+
+        # deterministic port allocation: always an ephemeral bind —
+        # never a fixed port, so concurrent jobs and CI can't collide
+        listener = socket.create_server(
+            ("127.0.0.1", 0), backlog=size + len(topo) + 2
+        )
+        addr = ("127.0.0.1", listener.getsockname()[1])
+
+        ctx = _mp_context()
+        hosts = []
+        for host_id, ranks in enumerate(topo):
+            perf_by_rank = (
+                {r: rank_perf[r] for r in ranks}
+                if rank_perf is not None else {}
+            )
+            hosts.append(ctx.Process(
+                target=_host_main,
+                args=(addr, job_id, host_id, list(ranks), size, worker,
+                      tuple(args), kwargs, perf_by_rank, trace_on,
+                      timeout, hb_interval, max_frame),
+                name=f"spmd-tcp-host-{host_id}",
+            ))
+        for p in hosts:
+            p.start()
+
+        router = _TcpRouter(
+            size, observer, rank_perf, timeout,
+            listener=listener, job_id=job_id, topo=topo,
+            hb_timeout=hb_timeout, max_frame=max_frame,
+        )
+        try:
+            router.bootstrap(_bootstrap_budget(timeout))
+            type(self).last_world = dict(router.manifest)
+            router.run()
+        finally:
+            router.shutdown_hosts()
+            # slam remaining sockets: EOF releases anything still parked
+            router.close()
+            listener.close()
+            for p in hosts:
+                p.join(timeout=_ABORT_GRACE)
+                if p.is_alive():
+                    p.terminate()
+                    p.join(timeout=1.0)
+            router.kill_stragglers()
+
+        if trace_on:
+            # a hard-killed rank never sent its final frame, so it is
+            # simply absent here — the checker reports the truncation
+            for rank, events in sorted(router.traces.items()):
+                trace.deliver(rank, events)
+
+        if router.failures:
+            roots = {
+                r: e for r, e in router.failures.items()
+                if not isinstance(e, (CollectiveAbortedError,
+                                      WorkerCrashError))
+            }
+            raise SpmdWorkerError(roots or router.failures,
+                                  router.tracebacks)
+        return router.results

@@ -8,6 +8,17 @@ import pytest
 from repro.datagen import generate_quest, make_dataset, random_dataset
 
 
+def pytest_collection_modifyitems(config, items):
+    """Auto-mark every test touching the TCP backend with ``tcp`` so
+    ``-m "not tcp"`` keeps the fast tier untouched by socket work: a
+    ``backend`` parametrization of ``"tcp"`` is marked automatically,
+    alongside anything marked ``tcp`` explicitly."""
+    for item in items:
+        params = getattr(item, "callspec", None)
+        if params is not None and params.params.get("backend") == "tcp":
+            item.add_marker(pytest.mark.tcp)
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)

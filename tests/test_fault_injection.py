@@ -276,7 +276,8 @@ class _DieWhileWideSplitPhase(ScalParCSplitPhase):
         super().execute(comm, lists, decisions, config)
 
 
-@pytest.mark.parametrize("backend", ["thread", "process", "cooperative"])
+@pytest.mark.parametrize("backend", ["thread", "process", "cooperative",
+                                     "tcp"])
 def test_checkpoint_write_path_on_every_backend(backend, tmp_path):
     """Checkpointing is engine-agnostic: every backend writes complete,
     loadable cuts and induces the reference tree."""
@@ -403,6 +404,140 @@ def test_retry_budget_exhausted_surfaces_failure(tmp_path):
         run_spmd(3, worker, backend="process", timeout=30.0, checkpoint=cfg)
     assert any(isinstance(e, WorkerCrashError)
                for e in excinfo.value.failures.values())
+
+
+# ----------------------------------------------------------------------
+# the TCP backend: socket-transport failure modes
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.tcp
+def test_hard_rank_death_truncates_trace_on_tcp():
+    """``os._exit`` on the TCP backend: the router sees the socket EOF,
+    raises WorkerCrashError, and the survivors' partial traces (shipped
+    on their final frames) pin the truncation on the dead rank — the
+    exact mirror of the process-backend case above."""
+    collector = TraceCollector()
+    with pytest.raises(SpmdWorkerError) as excinfo:
+        run_spmd(3, _hard_exit_worker, backend="tcp",
+                 trace=collector, timeout=30.0)
+    assert isinstance(excinfo.value.failures[1], WorkerCrashError)
+
+    assert len(collector.events_of(0)) >= 2
+    assert len(collector.events_of(2)) >= 2
+    assert collector.events_of(1) == []
+
+    report = collector.check()
+    assert not report.ok
+    assert report.codes()[0] == "truncated-sequence"
+    assert report.diagnostics[0].ranks == (1,)
+
+
+def _abrupt_socket_close_worker(comm):
+    """Rank 1 slams its engine connection shut mid-job — the process
+    stays alive, but its transport is gone (module-level: fork safe)."""
+    from repro.runtime import reduction
+
+    comm.allreduce(np.int64(1), reduction.SUM)
+    if comm.rank == 1:
+        comm._conn.close()
+        return -1                       # final frame has nowhere to go
+    comm.barrier()
+    return comm.rank
+
+
+@pytest.mark.tcp
+def test_abrupt_socket_close_on_tcp():
+    """A closed socket (no exit, no farewell) is indistinguishable from
+    rank death on the wire: EOF → WorkerCrashError, peers released."""
+    with pytest.raises(SpmdWorkerError) as excinfo:
+        run_spmd(3, _abrupt_socket_close_worker, backend="tcp",
+                 timeout=30.0)
+    assert isinstance(excinfo.value.failures[1], WorkerCrashError)
+
+
+def _kill_own_host_worker(comm):
+    """Rank 1 SIGKILLs its *host* process (its parent): the fault takes
+    down the host's whole rank group, not just the perpetrator."""
+    import signal
+
+    from repro.runtime import reduction
+
+    comm.allreduce(np.int64(1), reduction.SUM)
+    if comm.rank == 1:
+        os.kill(os.getppid(), signal.SIGKILL)
+        import time
+        time.sleep(30)                  # bounded: the router reaps us
+    comm.barrier()
+    return comm.rank
+
+
+@pytest.mark.tcp
+def test_host_death_kills_its_rank_group_on_tcp():
+    """Killing a host (control-connection EOF) must fail every rank it
+    hosted — the loopback stand-in for "machine fell off the network"."""
+    from repro.runtime.engines.tcp import TcpEngine
+
+    with pytest.raises(SpmdWorkerError) as excinfo:
+        run_spmd(4, _kill_own_host_worker, backend="tcp", timeout=30.0)
+    # default topology: host 0 carries ranks {0, 1} — both die with it;
+    # at least the first crash surfaces as the failure set (the second
+    # may be recorded as the abort echo, depending on arrival order)
+    hosted = set(TcpEngine.last_world["hosts"][0])
+    assert hosted == {0, 1}
+    crashed = {r for r, e in excinfo.value.failures.items()
+               if isinstance(e, WorkerCrashError)}
+    assert crashed and crashed <= hosted
+    assert any("host 0" in str(e)
+               for e in excinfo.value.failures.values())
+
+
+@pytest.mark.tcp
+def test_hard_kill_recovery_on_tcp_backend(tmp_path):
+    """The supervised-retry path over sockets: a one-shot ``os._exit``
+    mid-fit tears the world down; the engine respawns every host and
+    rank from the last sealed manifest and finishes the reference tree."""
+    from repro.runtime.engines.tcp import TcpEngine
+
+    ds = generate_quest(400, "F2", seed=1)
+    cfg = CheckpointConfig(dir=str(tmp_path / "ckpt"), every=1, keep=0,
+                           max_restarts=2, backoff_base=0.01)
+    flag = str(tmp_path / "killed")
+
+    def worker(comm, checkpoint=None):
+        return induce_worker(
+            comm, ds, None,
+            split_phase=_HardExitSplitPhase(flag, dying_rank=1, at_level=2),
+            checkpoint=checkpoint,
+        )
+
+    trees = run_spmd(3, worker, backend="tcp", timeout=30.0,
+                     checkpoint=cfg)
+    assert all(t.structurally_equal(induce_serial(ds)) for t in trees)
+    assert TcpEngine.last_attempts == ((0, 3), (1, 3))
+    assert os.path.exists(flag)
+
+
+@pytest.mark.tcp
+def test_elastic_degraded_recovery_p4_to_p2_on_tcp(tmp_path):
+    """Elastic degradation over sockets: a persistent wide-world fault
+    fails p=4 twice; the second restart shrinks to p′=2, re-shards the
+    resumed attribute lists, and still produces the bit-identical tree."""
+    from repro.runtime.engines.tcp import TcpEngine
+
+    ds = generate_quest(400, "F2", seed=1)
+    cfg = CheckpointConfig(dir=str(tmp_path / "ckpt"), every=1, keep=0,
+                           max_restarts=2, backoff_base=0.01)
+
+    def worker(comm, checkpoint=None):
+        return induce_worker(comm, ds, None,
+                             split_phase=_DieWhileWideSplitPhase(at_level=2),
+                             checkpoint=checkpoint)
+
+    trees = run_spmd(4, worker, backend="tcp", timeout=30.0,
+                     checkpoint=cfg)
+    assert all(t.structurally_equal(induce_serial(ds)) for t in trees)
+    assert TcpEngine.last_attempts == ((0, 4), (1, 4), (2, 2))
 
 
 def test_worker_raised_errors_are_not_retried(tmp_path):
