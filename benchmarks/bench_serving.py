@@ -1,0 +1,133 @@
+"""Serving-path throughput and latency: micro-batch size × worker grid.
+
+Drives the asyncio micro-batching engine (:class:`repro.serving.BatchServer`)
+the way a front end would — many concurrent small requests — against the
+serving-scale F5 tree, across a grid of ``max_batch`` and kernel-pool
+widths.  Each cell reports end-to-end records/sec (wall time over the
+whole request stream, not just kernel time) and the p50/p99 request
+latency measured by :class:`repro.serving.ServingStats`.  The grid lands
+in ``benchmarks/results/BENCH_serving.{txt,json}``.
+
+The expected shape: throughput climbs steeply with ``max_batch`` (the
+compiled kernel amortizes per-call overhead across the batch) while p99
+latency grows only by the micro-batch delay budget; extra workers help
+once batches are large enough to overlap kernel execution.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from conftest import SCALE, emit
+
+from repro import induce_serial
+from repro.datagen import paper_dataset
+from repro.serving import BatchServer, ModelRegistry, ServerConfig
+
+#: records per client request (a realistic small scoring call)
+REQUEST_RECORDS = 16
+
+#: total records pushed through every grid cell
+N_RECORDS = int(20_000 * SCALE)
+
+#: in-flight request cap (models a front end's connection pool)
+CONCURRENCY = 64
+
+BATCH_GRID = [16, 256, 4096]
+WORKER_GRID = [1, 4]
+
+
+def _serving_tree():
+    train = paper_dataset(int(40_000 * SCALE), "F5", seed=1,
+                          perturbation=0.02)
+    return induce_serial(train)
+
+
+async def _drive(server: BatchServer, rows, n_requests: int) -> float:
+    """Push ``n_requests`` concurrent requests; returns wall seconds."""
+    semaphore = asyncio.Semaphore(CONCURRENCY)
+
+    async def one_request():
+        async with semaphore:
+            await server.predict(rows)
+
+    t0 = time.perf_counter()
+    await asyncio.gather(*[one_request() for _ in range(n_requests)])
+    return time.perf_counter() - t0
+
+
+def _run_cell(registry, rows, max_batch: int, workers: int) -> dict:
+    n_requests = max(1, N_RECORDS // REQUEST_RECORDS)
+
+    async def scenario():
+        server = BatchServer(registry, ServerConfig(
+            max_batch=max_batch, max_delay=0.002, workers=workers))
+        await server.start()
+        try:
+            wall = await _drive(server, rows, n_requests)
+        finally:
+            await server.stop()
+        return wall, server.stats
+
+    wall, stats = asyncio.run(scenario())
+    snapshot = stats.snapshot()
+    return {
+        "max_batch": max_batch,
+        "workers": workers,
+        "request_records": REQUEST_RECORDS,
+        "n_requests": n_requests,
+        "records_per_sec": stats.n_records / wall,
+        "kernel_records_per_sec": snapshot["records_per_second"],
+        "mean_batch_size": snapshot["mean_batch_size"],
+        "n_batches": snapshot["n_batches"],
+        "latency_p50_ms": snapshot["latency_p50_ms"],
+        "latency_p99_ms": snapshot["latency_p99_ms"],
+    }
+
+
+def test_serving_throughput_latency_grid(benchmark, tmp_path):
+    """The BENCH_serving grid (and one pytest-benchmark cell)."""
+    registry = ModelRegistry(tmp_path / "registry")
+    registry.publish(_serving_tree(), activate=True)
+    rows = paper_dataset(REQUEST_RECORDS, "F5", seed=9).features_matrix()
+
+    cells = [
+        _run_cell(registry, rows, max_batch, workers)
+        for max_batch in BATCH_GRID
+        for workers in WORKER_GRID
+    ]
+
+    # micro-batching must actually pay off: the largest batch budget
+    # beats per-request-sized batches on end-to-end throughput
+    def best_rate(max_batch):
+        return max(c["records_per_sec"] for c in cells
+                   if c["max_batch"] == max_batch)
+
+    assert best_rate(BATCH_GRID[-1]) > best_rate(BATCH_GRID[0])
+
+    text = "\n".join([
+        f"serving grid: {N_RECORDS} records, "
+        f"{REQUEST_RECORDS} records/request, "
+        f"{CONCURRENCY} in-flight requests",
+        f"{'max_batch':>9s} {'workers':>7s} {'records/s':>12s} "
+        f"{'mean batch':>10s} {'p50 ms':>8s} {'p99 ms':>8s}",
+    ] + [
+        f"{c['max_batch']:9d} {c['workers']:7d} "
+        f"{c['records_per_sec']:12,.0f} {c['mean_batch_size']:10.1f} "
+        f"{c['latency_p50_ms']:8.3f} {c['latency_p99_ms']:8.3f}"
+        for c in cells
+    ])
+    emit("BENCH_serving", text, data=cells)
+
+    # pytest-benchmark anchor: the middle-of-the-grid configuration
+    async def anchor():
+        server = BatchServer(registry, ServerConfig(
+            max_batch=256, max_delay=0.002, workers=1))
+        await server.start()
+        try:
+            await _drive(server, rows, 64)
+        finally:
+            await server.stop()
+
+    benchmark(lambda: asyncio.run(anchor()))

@@ -44,8 +44,10 @@ from .datagen import (
 from .perfmodel import CRAY_T3D, MachineSpec, SimulatedRunStats
 from .runtime import available_backends, run_spmd
 from .tree import (
+    CompiledTree,
     DecisionTree,
     accuracy,
+    compile_tree,
     feature_importances,
     confusion_matrix,
     prune_pessimistic,
@@ -57,6 +59,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CRAY_T3D",
+    "CompiledTree",
     "Dataset",
     "DecisionTree",
     "FitResult",
@@ -70,6 +73,7 @@ __all__ = [
     "__version__",
     "accuracy",
     "available_backends",
+    "compile_tree",
     "confusion_matrix",
     "feature_importances",
     "fit_scalparc",

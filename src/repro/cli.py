@@ -12,6 +12,14 @@ Commands
 ``report``
     Fold the benchmark harness's result artifacts into one markdown
     document.
+``publish``
+    Seal a saved model (``train --save-model``) into a versioned serving
+    registry; ``--activate`` makes it the current version (hot-swap).
+``serve``
+    Run the async micro-batching prediction server over a registry.
+``query``
+    Send a prediction batch to a running server and report the answering
+    model version and accuracy.
 
 Examples
 --------
@@ -20,6 +28,10 @@ Examples
     python -m repro train --records 50000 --function F2 --processors 16
     python -m repro generate --records 100000 --function F7 --out data.npz
     python -m repro scale --sizes 5000,10000,20000 --processors 2,4,8,16
+    python -m repro train --records 20000 --save-model model.json
+    python -m repro publish --registry ./models --model model.json --activate
+    python -m repro serve --registry ./models --port 7071
+    python -m repro query --port 7071 --records 1000 --function F2
 """
 
 from __future__ import annotations
@@ -148,6 +160,55 @@ def build_parser() -> argparse.ArgumentParser:
                         default=Path("benchmarks/results"))
     report.add_argument("--out", type=Path, default=None,
                         help="write markdown here instead of stdout")
+
+    publish = sub.add_parser(
+        "publish", help="seal a saved model into a serving registry")
+    publish.add_argument("--registry", type=Path, required=True,
+                         help="registry root directory (created if missing)")
+    publish.add_argument("--model", type=Path, required=True,
+                         help="model JSON written by train --save-model")
+    publish.add_argument("--activate", action="store_true",
+                         help="make the published version current "
+                              "(atomic hot-swap; running servers pick it "
+                              "up between batches)")
+
+    serve_cmd = sub.add_parser(
+        "serve", help="run the micro-batching prediction server")
+    serve_cmd.add_argument("--registry", type=Path, required=True,
+                           help="registry root holding published versions")
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=0,
+                           help="TCP port (0 = ephemeral)")
+    serve_cmd.add_argument("--port-file", type=Path, default=None,
+                           help="write the bound port here (atomically) — "
+                                "for scripts using --port 0")
+    serve_cmd.add_argument("--max-batch", type=int, default=256,
+                           help="flush a batch at this many records "
+                                "(default 256)")
+    serve_cmd.add_argument("--max-delay-ms", type=float, default=2.0,
+                           help="flush a batch at most this many ms after "
+                                "its first record (default 2)")
+    serve_cmd.add_argument("--workers", type=int, default=1,
+                           help="kernel thread-pool width (default 1)")
+
+    query = sub.add_parser(
+        "query", help="send a prediction batch to a running server")
+    query.add_argument("--host", default="127.0.0.1")
+    query.add_argument("--port", type=int, default=None)
+    query.add_argument("--port-file", type=Path, default=None,
+                       help="read the port from a serve --port-file")
+    query.add_argument("--records", type=int, default=1000)
+    query.add_argument("--function", choices=FUNCTION_NAMES, default="F2")
+    query.add_argument("--seed", type=int, default=0)
+    query.add_argument("--proba", action="store_true",
+                       help="also request per-class probabilities")
+    query.add_argument("--expect-version", type=int, default=None,
+                       help="fail unless this model version answered "
+                            "(hot-swap round-trip assertion)")
+    query.add_argument("--stats", action="store_true",
+                       help="print the server's serving counters")
+    query.add_argument("--shutdown", action="store_true",
+                       help="ask the server to exit after the query")
 
     return parser
 
@@ -307,6 +368,76 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_publish(args: argparse.Namespace) -> int:
+    from .serving import ModelRegistry
+    from .tree import from_dict
+
+    try:
+        tree = from_dict(json.loads(args.model.read_text()))
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot load model {args.model}: {exc}",
+              file=sys.stderr)
+        return 2
+    registry = ModelRegistry(args.registry)
+    info = registry.publish(tree, meta={"source": str(args.model)},
+                            activate=args.activate)
+    state = "current" if args.activate else "published"
+    print(f"v{info.version} {state} in {args.registry} "
+          f"(compiled digest {info.compiled_digest})")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serving import ModelRegistry, ServerConfig, serve
+
+    config = ServerConfig(
+        max_batch=args.max_batch,
+        max_delay=args.max_delay_ms / 1e3,
+        workers=args.workers,
+    )
+    registry = ModelRegistry(args.registry)
+    try:
+        stats = asyncio.run(serve(
+            registry, host=args.host, port=args.port, config=config,
+            port_file=args.port_file,
+        ))
+    except KeyboardInterrupt:
+        return 130
+    print(stats.describe())
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from .serving import ServingClient
+
+    if args.port is None:
+        if args.port_file is None:
+            print("error: --port or --port-file is required",
+                  file=sys.stderr)
+            return 2
+        args.port = int(args.port_file.read_text().strip())
+    dataset = paper_dataset(args.records, args.function, seed=args.seed)
+    with ServingClient(args.host, args.port) as client:
+        reply = client.predict(dataset.features_matrix(), proba=args.proba)
+        hits = int((reply["labels"] == dataset.labels).sum())
+        print(f"v{reply['version']} answered {args.records} records "
+              f"(digest {reply['digest']}): "
+              f"accuracy {hits / max(args.records, 1):.4f}")
+        if args.stats:
+            print(client.stats()["describe"])
+        if args.shutdown:
+            client.shutdown()
+            print("server shut down")
+    if args.expect_version is not None \
+            and reply["version"] != args.expect_version:
+        print(f"error: expected model v{args.expect_version} to answer, "
+              f"got v{reply['version']}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -318,4 +449,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_scale(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "publish":
+        return _cmd_publish(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "query":
+        return _cmd_query(args)
     raise AssertionError(f"unhandled command {args.command!r}")

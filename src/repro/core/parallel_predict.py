@@ -16,7 +16,6 @@ from ..datagen.schema import Dataset
 from ..perfmodel import CRAY_T3D, MachineSpec, PerfRun
 from ..runtime import Communicator, reduction, run_spmd
 from ..tree.model import DecisionTree
-from ..tree.predict import predict_columns
 
 __all__ = ["predict_worker", "parallel_predict", "parallel_score"]
 
@@ -24,9 +23,16 @@ __all__ = ["predict_worker", "parallel_predict", "parallel_score"]
 def predict_worker(comm: Communicator, tree: DecisionTree,
                    dataset: Dataset) -> np.ndarray:
     """SPMD worker: predict this rank's record block; returns the *full*
-    prediction vector (allgathered, record order)."""
+    prediction vector (allgathered, record order).
+
+    Routing goes through the compiled flat-array kernel — each rank
+    lowers its (replicated, small) tree once and then routes its whole
+    block per level in vectorized steps, the same kernel the serving
+    stack runs.
+    """
     block = dataset.block(comm.rank, comm.size)
-    local = predict_columns(tree, block.columns)
+    compiled = tree.compiled()
+    local = compiled.predict_columns(block.columns)
     comm.perf.add_compute("record", block.n_records * max(tree.depth, 1))
     return comm.allgatherv(local)
 
@@ -36,7 +42,7 @@ def score_worker(comm: Communicator, tree: DecisionTree,
     """SPMD worker: fraction of correctly classified records, computed
     with one scalar allreduce instead of gathering predictions."""
     block = dataset.block(comm.rank, comm.size)
-    local = predict_columns(tree, block.columns)
+    local = tree.compiled().predict_columns(block.columns)
     comm.perf.add_compute("record", block.n_records * max(tree.depth, 1))
     hits = np.int64(np.count_nonzero(local == block.labels))
     total_hits = comm.allreduce(hits, reduction.SUM)

@@ -1,0 +1,82 @@
+"""Blocking client for the serving front end.
+
+Speaks the same length-prefixed CRC-guarded frame protocol as the TCP
+engine (:mod:`repro.runtime.framing`); one request frame in, one reply
+frame out.  Used by the ``repro query`` CLI, the serving tests, and the
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import numpy as np
+
+from ..runtime.framing import FrameAssembler, encode_frame
+
+__all__ = ["ServingClient", "ServingClientError"]
+
+
+class ServingClientError(RuntimeError):
+    """The server answered with an error, or the connection broke."""
+
+
+class ServingClient:
+    """One blocking connection to a serving front end."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._assembler = FrameAssembler()
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _rpc(self, request: dict) -> dict:
+        self._sock.sendall(encode_frame(request))
+        while True:
+            data = self._sock.recv(65_536)
+            if not data:
+                raise ServingClientError("server closed the connection")
+            frames = self._assembler.feed(data)
+            if frames:
+                reply = frames[0][0]
+                if not isinstance(reply, dict):
+                    raise ServingClientError(
+                        f"malformed reply of type {type(reply).__name__}"
+                    )
+                if not reply.get("ok"):
+                    raise ServingClientError(
+                        f"{reply.get('error', 'ServerError')}: "
+                        f"{reply.get('message', '(no message)')}"
+                    )
+                return reply
+
+    def ping(self) -> bool:
+        return bool(self._rpc({"op": "ping"})["ok"])
+
+    def predict(self, rows, proba: bool = False) -> dict:
+        """Predict a record batch; the reply carries ``labels``, the
+        answering model ``version`` and compiled ``digest``, and
+        ``proba`` when requested."""
+        rows = np.asarray(rows, dtype=np.float64)
+        return self._rpc({"op": "predict", "rows": rows,
+                          "proba": bool(proba)})
+
+    def stats(self) -> dict:
+        """Server-side counters (snapshot + human-readable describe)."""
+        return self._rpc({"op": "stats"})
+
+    def shutdown(self) -> None:
+        """Ask the server to stop accepting and exit its serve loop."""
+        self._rpc({"op": "shutdown"})

@@ -1,5 +1,7 @@
-"""Decision-tree model, prediction, statistics, export and pruning."""
+"""Decision-tree model, prediction, compilation, statistics, export and
+pruning."""
 
+from .compile import CompiledTree, compile_tree
 from .export import from_dict, to_dict, to_dot, to_text
 from .model import (
     CategoricalSplit,
@@ -9,13 +11,19 @@ from .model import (
     TreeNode,
 )
 from .importance import feature_importances
-from .predict import predict_columns, predict_proba_columns
+from .predict import (
+    predict_columns,
+    predict_columns_recursive,
+    predict_proba_columns,
+    predict_proba_columns_recursive,
+)
 from .pruning import prune_mdl, prune_pessimistic
 from .rules import Condition, Rule, extract_rules, rules_to_text
 from .stats import TreeSummary, accuracy, confusion_matrix, summarize
 
 __all__ = [
     "CategoricalSplit",
+    "CompiledTree",
     "Condition",
     "ContinuousSplit",
     "DecisionTree",
@@ -23,11 +31,14 @@ __all__ = [
     "TreeNode",
     "TreeSummary",
     "accuracy",
+    "compile_tree",
     "confusion_matrix",
     "feature_importances",
     "from_dict",
     "predict_columns",
+    "predict_columns_recursive",
     "predict_proba_columns",
+    "predict_proba_columns_recursive",
     "prune_mdl",
     "Rule",
     "extract_rules",

@@ -1,0 +1,371 @@
+"""Compiled flat-array decision trees: the serving-side hot path.
+
+The pointer-chasing :class:`~repro.tree.model.DecisionTree` is the right
+shape for induction and structural comparison, but routing records
+through it costs a Python frame per node per routed subset
+(``predict._route_recursive``) and dies with ``RecursionError`` on deep
+trees.  :func:`compile_tree` lowers a fitted tree into a
+:class:`CompiledTree` — a handful of flat numpy arrays — whose traversal
+kernel advances *every* record one level per numpy step::
+
+    node = child_table[child_base[node] + route(node, value)]
+
+with no Python recursion and no per-node dispatch.  The same node-table
+layout is the groundwork the streaming-induction workload will refine
+in place.
+
+Layout
+------
+Nodes are numbered in breadth-first order (root = 0).  Per node:
+
+``kind``
+    uint8: 0 leaf, 1 continuous split, 2 categorical split.
+``feature``
+    int32 attribute index of the split (−1 for leaves).
+``threshold``
+    float64 continuous split point (NaN elsewhere).
+``child_base`` / ``fanout``
+    CSR-style slice ``child_table[child_base[v]:child_base[v]+fanout[v]]``
+    holding the node's outgoing edges: 2 slots for a continuous node
+    (left, right), ``len(value_to_child)`` slots for a categorical node
+    (one per attribute code).
+``child_table``
+    int32 *routing* table: slot → child node id.  Categorical codes that
+    were absent at training time are baked to the node's default child,
+    so the kernel never branches on "unseen value".
+``slot_child``
+    int32 raw child *ordinal* per slot (−1 for absent codes) — kept so
+    :meth:`CompiledTree.to_tree` can reconstruct ``value_to_child``
+    losslessly.
+``leaf_label`` / ``leaf_proba``
+    int32 predicted class per leaf (−1 for internal nodes) and the
+    float64 per-class empirical frequencies
+    (``class_counts / max(sum, 1)`` — computed exactly as the recursive
+    predictor does, so probabilities agree bit-for-bit).
+``n_records`` / ``class_counts``
+    training-set statistics, preserved for the round trip.
+
+``structure_digest`` is a blake2b digest over every array plus a schema
+fingerprint; it names the *compiled artifact* (the serving registry
+records it in model manifests so a served model can be pinned to the
+exact routing tables it answered with).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+from ..datagen.schema import Schema
+from .model import (
+    CategoricalSplit,
+    ContinuousSplit,
+    DecisionTree,
+    Leaf,
+    TreeNode,
+)
+
+__all__ = ["CompiledTree", "compile_tree", "KIND_LEAF", "KIND_CONTINUOUS",
+           "KIND_CATEGORICAL"]
+
+KIND_LEAF = 0
+KIND_CONTINUOUS = 1
+KIND_CATEGORICAL = 2
+
+
+@dataclass(frozen=True)
+class CompiledTree:
+    """A fitted tree lowered to flat arrays (see module docstring)."""
+
+    schema: Schema
+    kind: np.ndarray            # uint8  (n_nodes,)
+    feature: np.ndarray         # int32  (n_nodes,)
+    threshold: np.ndarray       # float64 (n_nodes,)
+    child_base: np.ndarray      # int64  (n_nodes,)
+    fanout: np.ndarray          # int32  (n_nodes,)
+    child_table: np.ndarray     # int32  (n_slots,)
+    slot_child: np.ndarray      # int32  (n_slots,)
+    default_child: np.ndarray   # int32  (n_nodes,)
+    leaf_label: np.ndarray      # int32  (n_nodes,)
+    leaf_proba: np.ndarray      # float64 (n_nodes, n_classes)
+    n_records: np.ndarray       # int64  (n_nodes,)
+    class_counts: np.ndarray    # int64  (n_nodes, n_classes)
+
+    # -- shape ---------------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.kind)
+
+    @property
+    def n_leaves(self) -> int:
+        return int(np.count_nonzero(self.kind == KIND_LEAF))
+
+    @cached_property
+    def max_depth(self) -> int:
+        """Deepest leaf (root = 0), computed from the child table."""
+        depth = self._node_depths()
+        return int(depth[self.kind == KIND_LEAF].max())
+
+    def _node_depths(self) -> np.ndarray:
+        depth = np.zeros(self.n_nodes, dtype=np.int64)
+        for v in range(self.n_nodes):          # parents precede children (BFS)
+            if self.kind[v] != KIND_LEAF:
+                base, k = self.child_base[v], self.fanout[v]
+                children = np.unique(self.child_table[base:base + k])
+                depth[children] = depth[v] + 1
+        return depth
+
+    @cached_property
+    def structure_digest(self) -> str:
+        """blake2b digest naming this compiled artifact (arrays + schema)."""
+        h = hashlib.blake2b(digest_size=16)
+        h.update(repr([(a.name, a.kind, a.n_values) for a in self.schema])
+                 .encode())
+        h.update(str(self.schema.n_classes).encode())
+        for arr in (self.kind, self.feature, self.threshold, self.child_base,
+                    self.fanout, self.child_table, self.slot_child,
+                    self.default_child, self.leaf_label, self.leaf_proba,
+                    self.n_records, self.class_counts):
+            h.update(str(arr.dtype).encode())
+            h.update(np.ascontiguousarray(arr).tobytes())
+        return h.hexdigest()
+
+    # -- the kernel ----------------------------------------------------------
+
+    @cached_property
+    def _routing(self) -> tuple:
+        """Precomputed node tables the traversal kernel gathers from.
+
+        Leaves are lowered to *self-loops*: feature 0 (any valid
+        column), threshold NaN (``value >= NaN`` is False → route 0)
+        and a one-slot child table pointing back at the leaf itself.
+        That removes every per-iteration "is this record done?" branch
+        from the hot loop — finished records simply idle in place, and
+        the active set is compacted only every few levels.
+        """
+        n = self.n_nodes
+        leaf = self.kind == KIND_LEAF
+        feature = np.where(leaf, 0, self.feature).astype(np.int64)
+        is_cat = self.kind == KIND_CATEGORICAL
+        fanout_m1 = np.maximum(self.fanout.astype(np.int64) - 1, 0)
+        n_slots = len(self.child_table)
+        child_base = self.child_base.copy()
+        child_table = np.concatenate(
+            [self.child_table.astype(np.int64),
+             np.nonzero(leaf)[0].astype(np.int64)]
+        ) if leaf.any() else self.child_table.astype(np.int64)
+        child_base[leaf] = n_slots + np.arange(
+            int(leaf.sum()), dtype=np.int64)
+        return (feature, self.threshold, child_base, fanout_m1,
+                child_table, is_cat, bool(is_cat.any()))
+
+    def apply(self, matrix: np.ndarray) -> np.ndarray:
+        """Leaf node id per record of ``matrix`` (n_records, n_attributes).
+
+        Fully vectorized and iterative: each pass advances every still-
+        routing record one level (``node = child_table[child_base[node]
+        + route]``) — no Python recursion, so arbitrarily deep trees
+        route fine and cost is O(depth) numpy passes.  Records that
+        already sit on a leaf self-loop (see :attr:`_routing`); the
+        active set is compacted every few levels so early finishers on
+        unbalanced trees stop costing work.
+        """
+        matrix = np.ascontiguousarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ValueError(
+                f"expected a (n_records, n_attributes) matrix, "
+                f"got shape {matrix.shape}"
+            )
+        width = matrix.shape[1]
+        if width != len(self.schema):
+            raise ValueError(
+                f"expected {len(self.schema)} attribute columns, "
+                f"got {width}"
+            )
+        n = matrix.shape[0]
+        out = np.zeros(n, dtype=np.int64)
+        if n == 0 or self.n_nodes == 1:
+            return out
+        feature, threshold, child_base, fanout_m1, child_table, is_cat, \
+            has_cat = self._routing
+        flat = matrix.reshape(-1)
+        cur = np.zeros(n, dtype=np.int64)
+        rows = np.arange(n, dtype=np.int64) * width
+        dest = None                      # out index per active record
+        level = 0
+        while True:
+            value = flat[rows + feature[cur]]
+            route = threshold[cur] <= value     # False on NaN (leaves)
+            if has_cat:
+                with np.errstate(invalid="ignore"):
+                    codes = value.astype(np.int64)
+                np.clip(codes, 0, fanout_m1[cur], out=codes)
+                route = np.where(is_cat[cur], codes, route)
+            cur = child_table[child_base[cur] + route]
+            level += 1
+            # compact the active set every few levels (and at the end)
+            if level % 8 == 0 or level >= self.max_depth:
+                done = self.kind[cur] == KIND_LEAF
+                if done.all():
+                    if dest is None:
+                        return cur
+                    out[dest] = cur
+                    return out
+                if done.any():
+                    if dest is None:
+                        out[done] = cur[done]
+                        dest = np.nonzero(~done)[0]
+                    else:
+                        out[dest[done]] = cur[done]
+                        dest = dest[~done]
+                    keep = ~done
+                    cur = cur[keep]
+                    rows = rows[keep]
+
+    def predict_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Predicted class label per record row."""
+        return self.leaf_label[self.apply(matrix)]
+
+    def predict_proba_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Per-class empirical leaf frequencies per record row."""
+        return self.leaf_proba[self.apply(matrix)]
+
+    def _matrix_of(self, columns: list[np.ndarray]) -> np.ndarray:
+        if len(columns) != len(self.schema):
+            raise ValueError(
+                f"expected {len(self.schema)} columns, got {len(columns)}"
+            )
+        if not columns:
+            return np.empty((0, 0), dtype=np.float64)
+        return np.column_stack(
+            [np.asarray(c, dtype=np.float64) for c in columns]
+        )
+
+    def predict_columns(self, columns: list[np.ndarray]) -> np.ndarray:
+        """Predicted class label per record (records = rows of columns)."""
+        return self.predict_matrix(self._matrix_of(columns))
+
+    def predict_proba_columns(self, columns: list[np.ndarray]) -> np.ndarray:
+        """Per-class empirical leaf frequencies per record."""
+        return self.predict_proba_matrix(self._matrix_of(columns))
+
+    # -- round trip ----------------------------------------------------------
+
+    def to_tree(self) -> DecisionTree:
+        """Reconstruct the pointer-form :class:`DecisionTree` exactly.
+
+        Depths are recomputed from the table structure (root = 0); all
+        other node data round-trips from the stored arrays, so
+        ``compile_tree(t).to_tree()`` is structurally equal to ``t``.
+        """
+        depth = self._node_depths()
+        nodes: list[TreeNode | None] = [None] * self.n_nodes
+        for v in range(self.n_nodes - 1, -1, -1):   # children before parents
+            counts = self.class_counts[v].copy()
+            if self.kind[v] == KIND_LEAF:
+                nodes[v] = Leaf(
+                    label=int(self.leaf_label[v]),
+                    n_records=int(self.n_records[v]),
+                    class_counts=counts, depth=int(depth[v]),
+                )
+                continue
+            base, k = int(self.child_base[v]), int(self.fanout[v])
+            slots = self.slot_child[base:base + k]
+            table = self.child_table[base:base + k]
+            if self.kind[v] == KIND_CONTINUOUS:
+                nodes[v] = ContinuousSplit(
+                    attr_index=int(self.feature[v]),
+                    threshold=float(self.threshold[v]),
+                    n_records=int(self.n_records[v]),
+                    class_counts=counts, depth=int(depth[v]),
+                    children=[nodes[table[0]], nodes[table[1]]],
+                )
+                continue
+            n_children = int(slots.max()) + 1
+            children: list[TreeNode | None] = [None] * n_children
+            for slot, ordinal in enumerate(slots):
+                if ordinal >= 0:
+                    children[ordinal] = nodes[table[slot]]
+            nodes[v] = CategoricalSplit(
+                attr_index=int(self.feature[v]),
+                value_to_child=slots.astype(np.int32).copy(),
+                n_records=int(self.n_records[v]),
+                class_counts=counts, depth=int(depth[v]),
+                children=children,
+                default_child=int(self.default_child[v]),
+            )
+        return DecisionTree(schema=self.schema, root=nodes[0])
+
+
+def compile_tree(tree: DecisionTree) -> CompiledTree:
+    """Lower a fitted :class:`DecisionTree` into its flat-array form."""
+    order: list[TreeNode] = []
+    queue: list[TreeNode] = [tree.root]
+    while queue:                              # breadth-first numbering
+        node = queue.pop(0)
+        order.append(node)
+        if not node.is_leaf:
+            queue.extend(node.children)
+    ids: dict[int, int] = {id(node): v for v, node in enumerate(order)}
+
+    n = len(order)
+    n_classes = tree.schema.n_classes
+    kind = np.zeros(n, dtype=np.uint8)
+    feature = np.full(n, -1, dtype=np.int32)
+    threshold = np.full(n, np.nan, dtype=np.float64)
+    child_base = np.zeros(n, dtype=np.int64)
+    fanout = np.zeros(n, dtype=np.int32)
+    default_child = np.zeros(n, dtype=np.int32)
+    leaf_label = np.full(n, -1, dtype=np.int32)
+    leaf_proba = np.zeros((n, n_classes), dtype=np.float64)
+    n_records = np.zeros(n, dtype=np.int64)
+    class_counts = np.zeros((n, n_classes), dtype=np.int64)
+    table: list[np.ndarray] = []
+    slots: list[np.ndarray] = []
+
+    base = 0
+    for v, node in enumerate(order):
+        n_records[v] = node.n_records
+        class_counts[v] = node.class_counts
+        if isinstance(node, Leaf):
+            kind[v] = KIND_LEAF
+            leaf_label[v] = node.label
+            total = max(int(node.class_counts.sum()), 1)
+            # same expression as the recursive predictor → bit-identical
+            leaf_proba[v] = node.class_counts / total
+            continue
+        feature[v] = node.attr_index
+        child_ids = np.array([ids[id(c)] for c in node.children],
+                             dtype=np.int32)
+        if isinstance(node, ContinuousSplit):
+            kind[v] = KIND_CONTINUOUS
+            threshold[v] = node.threshold
+            routed = child_ids                      # slots = [left, right]
+            raw = np.array([0, 1], dtype=np.int32)
+        else:
+            kind[v] = KIND_CATEGORICAL
+            default_child[v] = node.default_child
+            raw = np.asarray(node.value_to_child, dtype=np.int32)
+            ordinals = np.where(raw < 0, node.default_child, raw)
+            routed = child_ids[ordinals]
+        child_base[v] = base
+        fanout[v] = len(routed)
+        table.append(routed)
+        slots.append(raw)
+        base += len(routed)
+
+    empty = np.empty(0, dtype=np.int32)
+    return CompiledTree(
+        schema=tree.schema,
+        kind=kind, feature=feature, threshold=threshold,
+        child_base=child_base, fanout=fanout,
+        child_table=np.concatenate(table) if table else empty,
+        slot_child=np.concatenate(slots) if slots else empty,
+        default_child=default_child,
+        leaf_label=leaf_label, leaf_proba=leaf_proba,
+        n_records=n_records, class_counts=class_counts,
+    )

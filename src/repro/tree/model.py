@@ -184,7 +184,35 @@ class DecisionTree:
         """Exact structural equality — the cross-p correctness oracle."""
         return self.root.structurally_equal(other.root)
 
-    # -- prediction (see predict.py for the implementation) ------------------
+    # -- prediction (see predict.py / compile.py for the implementation) -----
+
+    def compiled(self):
+        """The flat-array compiled form of this tree (cached).
+
+        Compilation is pure and the cache is keyed to this instance; it
+        is dropped on pickling (each process compiles its own copy) and
+        can be cleared explicitly with :meth:`invalidate_compiled` after
+        in-place structural surgery on the nodes.
+        """
+        compiled = getattr(self, "_compiled", None)
+        if compiled is None:
+            from .compile import compile_tree
+
+            compiled = compile_tree(self)
+            self._compiled = compiled
+        return compiled
+
+    def invalidate_compiled(self) -> None:
+        """Drop the cached compiled form (call after mutating nodes)."""
+        self.__dict__.pop("_compiled", None)
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_compiled", None)     # arrays are cheap to rebuild
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
 
     def predict_columns(self, columns: list[np.ndarray]) -> np.ndarray:
         """Predict class labels from raw per-attribute columns."""

@@ -1,9 +1,17 @@
 """Vectorized tree prediction.
 
-Routes all records through the tree with index-array recursion: at each
-internal node the surviving record indices are partitioned once with a
-vectorized routing kernel, so prediction costs O(depth) vectorized passes
-instead of a Python loop per record.
+The public entry points route records through the tree's *compiled*
+flat-array form (see :mod:`repro.tree.compile`): the tree is lowered
+once per instance (cached on the :class:`DecisionTree`), then every
+batch advances all records one level per numpy step — no Python
+recursion, so arbitrarily deep trees predict fine and large batches run
+at array speed.
+
+The original index-recursion implementation is kept as
+``predict_columns_recursive`` / ``predict_proba_columns_recursive``: it
+is the independent reference the compiled kernel is differentially
+tested against (bit-for-bit label and probability equality), and the
+"before" side of the serving benchmarks.
 """
 
 from __future__ import annotations
@@ -12,7 +20,37 @@ import numpy as np
 
 from .model import DecisionTree, TreeNode
 
-__all__ = ["predict_columns", "predict_proba_columns"]
+__all__ = [
+    "predict_columns",
+    "predict_proba_columns",
+    "predict_columns_recursive",
+    "predict_proba_columns_recursive",
+]
+
+
+def _check_width(tree: DecisionTree, columns: list[np.ndarray]) -> None:
+    if len(columns) != len(tree.schema):
+        raise ValueError(
+            f"expected {len(tree.schema)} columns, got {len(columns)}"
+        )
+
+
+def predict_columns(tree: DecisionTree, columns: list[np.ndarray]) -> np.ndarray:
+    """Predicted class label per record (records = rows of columns)."""
+    _check_width(tree, columns)
+    return tree.compiled().predict_columns(columns)
+
+
+def predict_proba_columns(tree: DecisionTree,
+                          columns: list[np.ndarray]) -> np.ndarray:
+    """Per-class empirical frequencies of the routed leaf, per record."""
+    _check_width(tree, columns)
+    return tree.compiled().predict_proba_columns(columns)
+
+
+# ----------------------------------------------------------------------
+# reference implementation (index-array recursion)
+# ----------------------------------------------------------------------
 
 
 def _route_recursive(node: TreeNode, idx: np.ndarray,
@@ -31,12 +69,10 @@ def _route_recursive(node: TreeNode, idx: np.ndarray,
             _route_recursive(child, sub, columns, out, counts_out)
 
 
-def predict_columns(tree: DecisionTree, columns: list[np.ndarray]) -> np.ndarray:
-    """Predicted class label per record (records = rows of columns)."""
-    if len(columns) != len(tree.schema):
-        raise ValueError(
-            f"expected {len(tree.schema)} columns, got {len(columns)}"
-        )
+def predict_columns_recursive(tree: DecisionTree,
+                              columns: list[np.ndarray]) -> np.ndarray:
+    """Reference predictor: pays a Python frame per node per subset."""
+    _check_width(tree, columns)
     n = len(columns[0]) if columns else 0
     out = np.empty(n, dtype=np.int32)
     if n:
@@ -45,9 +81,10 @@ def predict_columns(tree: DecisionTree, columns: list[np.ndarray]) -> np.ndarray
     return out
 
 
-def predict_proba_columns(tree: DecisionTree,
-                          columns: list[np.ndarray]) -> np.ndarray:
-    """Per-class empirical frequencies of the routed leaf, per record."""
+def predict_proba_columns_recursive(tree: DecisionTree,
+                                    columns: list[np.ndarray]) -> np.ndarray:
+    """Reference probability predictor (index-array recursion)."""
+    _check_width(tree, columns)
     n = len(columns[0]) if columns else 0
     out = np.empty(n, dtype=np.int32)
     proba = np.zeros((n, tree.schema.n_classes), dtype=np.float64)

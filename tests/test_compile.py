@@ -1,0 +1,220 @@
+"""Compiled flat-array trees: kernel bit-identity, depth safety, round trip.
+
+The compiled kernel is the serving hot path; these tests pin it to the
+index-recursion reference implementation (bit-for-bit labels *and*
+probabilities on the golden fixture trees), prove it routes trees far
+beyond Python's recursion limit, and guard the flat-array ↔ pointer-form
+round trip and the structure digest.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.datagen import generate_quest, paper_dataset
+from repro.datagen.schema import AttributeSpec, Schema
+from repro.tree import (
+    CompiledTree,
+    ContinuousSplit,
+    DecisionTree,
+    Leaf,
+    compile_tree,
+    from_dict,
+    predict_columns,
+    predict_columns_recursive,
+    predict_proba_columns,
+    predict_proba_columns_recursive,
+    to_dict,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN = sorted(p.name for p in GOLDEN_DIR.glob("*.json"))
+
+#: golden fixture name -> the Quest function that generated its data
+_FIXTURE_FN = {name: name.split("_")[0].upper() for name in GOLDEN}
+
+
+def _golden_tree(name: str) -> DecisionTree:
+    return from_dict(json.loads((GOLDEN_DIR / name).read_text()))
+
+
+def _record_batches(tree: DecisionTree, fn: str):
+    """Record batches exercising each golden tree: real Quest draws plus
+    a synthetic batch covering out-of-range and unseen values."""
+    ds = generate_quest(512, fn, seed=123)
+    assert len(ds.schema) == len(tree.schema)
+    yield ds.columns
+    rng = np.random.default_rng(7)
+    synthetic = []
+    for spec in tree.schema:
+        if spec.is_continuous:
+            synthetic.append(rng.normal(0.0, 1e6, 64))
+        else:
+            synthetic.append(
+                rng.integers(0, spec.n_values, 64).astype(np.int32))
+    yield synthetic
+    yield [c[:1] for c in synthetic]          # single record
+    yield [c[:0] for c in synthetic]          # empty batch
+
+
+@pytest.mark.parametrize("name", GOLDEN)
+def test_compiled_predict_bit_identical_on_golden(name):
+    tree = _golden_tree(name)
+    for columns in _record_batches(tree, _FIXTURE_FN[name]):
+        np.testing.assert_array_equal(
+            predict_columns(tree, columns),
+            predict_columns_recursive(tree, columns),
+        )
+
+
+@pytest.mark.parametrize("name", GOLDEN)
+def test_compiled_proba_bit_identical_on_golden(name):
+    tree = _golden_tree(name)
+    for columns in _record_batches(tree, _FIXTURE_FN[name]):
+        compiled = predict_proba_columns(tree, columns)
+        reference = predict_proba_columns_recursive(tree, columns)
+        assert compiled.dtype == reference.dtype
+        assert np.array_equal(compiled, reference)      # bit-for-bit
+
+
+@pytest.mark.parametrize("name", GOLDEN)
+def test_compile_round_trips_golden(name):
+    tree = _golden_tree(name)
+    restored = compile_tree(tree).to_tree()
+    assert restored.structurally_equal(tree)
+    assert to_dict(restored) == to_dict(tree)          # incl. depths
+
+
+def _chain_tree(depth: int) -> DecisionTree:
+    """A degenerate ``depth``-deep right-leaning chain on one continuous
+    attribute: node i splits at i + 0.5; values below fall to a leaf
+    labelled i % 2, values above keep descending."""
+    schema = Schema(
+        attributes=(AttributeSpec("x", "continuous"),), n_classes=2)
+    counts = np.array([1, 1], dtype=np.int64)
+    tail: DecisionTree | Leaf = Leaf(
+        label=depth % 2, n_records=2, class_counts=counts.copy(),
+        depth=depth)
+    for i in range(depth - 1, -1, -1):
+        left = Leaf(label=i % 2, n_records=2, class_counts=counts.copy(),
+                    depth=i + 1)
+        tail = ContinuousSplit(
+            attr_index=0, threshold=i + 0.5, n_records=4,
+            class_counts=counts.copy() * 2, depth=i,
+            children=[left, tail],
+        )
+    return DecisionTree(schema=schema, root=tail)
+
+
+def test_deep_chain_tree_predicts_without_recursion():
+    """~2000-deep tree: the recursive reference blows the interpreter's
+    recursion limit; the compiled kernel routes it fine, correctly."""
+    depth = 2000
+    assert depth * 2 > sys.getrecursionlimit()
+    tree = _chain_tree(depth)
+    values = np.array([-5.0, 0.2, 1.7, 499.9, 1999.2, 1e12])
+    columns = [values]
+
+    with pytest.raises(RecursionError):
+        predict_columns_recursive(tree, columns)
+
+    got = predict_columns(tree, columns)
+    # value v exits at the first node whose threshold exceeds it
+    expected = [min(int(np.floor(v + 0.5)), depth) % 2 if v >= 0 else 0
+                for v in values]
+    np.testing.assert_array_equal(got, expected)
+
+    proba = predict_proba_columns(tree, columns)
+    assert proba.shape == (len(values), 2)
+    np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+
+def test_deep_chain_round_trip_digest():
+    """Round-tripping the deep tree preserves the compiled structure
+    exactly (digest equality — checkable without recursion)."""
+    compiled = compile_tree(_chain_tree(2000))
+    assert compiled.max_depth == 2000
+    rebuilt = compile_tree(compiled.to_tree())
+    assert rebuilt.structure_digest == compiled.structure_digest
+
+
+def test_structure_digest_is_stable_and_discriminating():
+    t1 = _golden_tree(GOLDEN[0])
+    t2 = _golden_tree(GOLDEN[1])
+    assert compile_tree(t1).structure_digest \
+        == compile_tree(t1).structure_digest
+    assert compile_tree(t1).structure_digest \
+        != compile_tree(t2).structure_digest
+
+
+def test_compiled_cache_on_tree_instance():
+    tree = _golden_tree(GOLDEN[0])
+    first = tree.compiled()
+    assert isinstance(first, CompiledTree)
+    assert tree.compiled() is first                    # cached
+    tree.invalidate_compiled()
+    assert tree.compiled() is not first
+    # pickling drops the cache (each process compiles its own copy)
+    clone = pickle.loads(pickle.dumps(tree))
+    assert "_compiled" not in clone.__dict__
+    np.testing.assert_array_equal(
+        clone.compiled().leaf_label, tree.compiled().leaf_label)
+
+
+def test_predict_proba_columns_validates_width():
+    """Regression: a wrong-width column list must raise a clear
+    ValueError (it used to index garbage or die with an IndexError)."""
+    tree = _golden_tree(GOLDEN[0])
+    too_few = [np.zeros(4)] * (len(tree.schema) - 1)
+    with pytest.raises(ValueError, match="columns"):
+        predict_proba_columns(tree, too_few)
+    with pytest.raises(ValueError, match="columns"):
+        predict_columns(tree, too_few)
+
+
+def test_apply_validates_matrix_shape():
+    compiled = compile_tree(_golden_tree(GOLDEN[0]))
+    with pytest.raises(ValueError, match="matrix"):
+        compiled.apply(np.zeros(8))
+    with pytest.raises(ValueError, match="attribute columns"):
+        compiled.apply(np.zeros((8, len(compiled.schema) + 2)))
+
+
+def test_single_leaf_tree():
+    schema = Schema(
+        attributes=(AttributeSpec("x", "continuous"),), n_classes=2)
+    tree = DecisionTree(schema=schema, root=Leaf(
+        label=1, n_records=5,
+        class_counts=np.array([1, 4], dtype=np.int64), depth=0))
+    compiled = compile_tree(tree)
+    np.testing.assert_array_equal(
+        compiled.predict_columns([np.array([0.0, 9.9])]), [1, 1])
+    np.testing.assert_array_equal(
+        compiled.predict_proba_columns([np.array([3.0])]),
+        [[0.2, 0.8]])
+    assert compiled.to_tree().structurally_equal(tree)
+
+
+def test_compiled_agrees_on_fresh_paper_trees():
+    """Beyond the pinned fixtures: freshly induced trees on a mixed
+    continuous/categorical schema agree across both predictors."""
+    from repro.baselines import induce_serial
+
+    for fn, seed in [("F2", 0), ("F5", 3), ("F3", 1)]:
+        train = paper_dataset(3000, fn, seed=seed)
+        test = paper_dataset(700, fn, seed=seed + 100)
+        tree = induce_serial(train)
+        np.testing.assert_array_equal(
+            predict_columns(tree, test.columns),
+            predict_columns_recursive(tree, test.columns),
+        )
+        assert np.array_equal(
+            predict_proba_columns(tree, test.columns),
+            predict_proba_columns_recursive(tree, test.columns),
+        )
