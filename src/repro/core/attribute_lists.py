@@ -29,6 +29,8 @@ import numpy as np
 from ..datagen.schema import AttributeSpec, Dataset
 from ..runtime import Communicator
 from ..sort import parallel_sample_sort
+from . import kernels
+from .config import InductionConfig
 
 __all__ = ["LocalAttributeList", "build_local_lists", "restore_local_lists"]
 
@@ -149,35 +151,39 @@ class LocalAttributeList:
 
         The sort is stable, so within each new segment the previous
         relative order — hence the global sorted order for continuous
-        lists — is preserved.
+        lists — is preserved.  The gather plan comes from
+        :func:`repro.core.kernels.stable_regroup`, whose fast path narrows
+        the sort key to a radix-sortable width and fuses the drop-filter
+        into the gather, so every payload array pays one fancy-index pass.
         """
         if len(new_nodes) != self.n_local:
             raise ValueError("new_nodes must cover every local entry")
-        keep = new_nodes >= 0
-        kept_nodes = new_nodes[keep]
-        perm = np.argsort(kept_nodes, kind="stable")
-        self.values = self.values[keep][perm]
-        self.rids = self.rids[keep][perm]
-        self.labels = self.labels[keep][perm]
+        take, offsets = kernels.stable_regroup(new_nodes, n_next)
+        self.values = self.values[take]
+        self.rids = self.rids[take]
+        self.labels = self.labels[take]
         if self.bin_codes is not None:
-            self.bin_codes = self.bin_codes[keep][perm]
-        counts = np.bincount(kept_nodes, minlength=n_next)
-        self.offsets = np.concatenate(
-            ([0], np.cumsum(counts, dtype=np.int64))
-        )
+            self.bin_codes = self.bin_codes[take]
+        self.offsets = offsets
         self._entry_nodes_cache = None
 
 
 def build_local_lists(
-    comm: Communicator, dataset: Dataset
+    comm: Communicator, dataset: Dataset,
+    config: InductionConfig | None = None,
 ) -> tuple[list[LocalAttributeList], int]:
     """Build this rank's attribute lists, presorting continuous attributes.
 
     Each rank takes its ⌈N/p⌉ record block, forms (value, rid, label)
     lists per attribute, and runs the parallel sample sort once per
-    continuous attribute (the Presort phase of Figure 2).  Returns the
-    lists and the global record count N.
+    continuous attribute (the Presort phase of Figure 2).  ``config``
+    selects the presort schedule: ``sort_levels > 1`` runs the multi-level
+    AMS-style sample sort (same output, splitter selection recursed over
+    rank groups) with ``sort_oversample`` samples per splitter.  Returns
+    the lists and the global record count N.
     """
+    sort_levels = config.resolved_sort_levels() if config is not None else 1
+    sort_oversample = config.sort_oversample if config is not None else 2
     n_total = dataset.n_records
     block = dataset.block(comm.rank, comm.size)
     chunk = -(-n_total // comm.size) if n_total else 0
@@ -191,7 +197,8 @@ def build_local_lists(
         if spec.is_continuous:
             values = col.astype(np.float64, copy=True)
             s_values, s_rids, s_labels = parallel_sample_sort(
-                comm, values, labels, rids=rids
+                comm, values, labels, rids=rids,
+                levels=sort_levels, oversample=sort_oversample,
             )
         else:
             s_values = col.astype(np.int32, copy=True)
@@ -242,7 +249,65 @@ def _reshard_one_attribute(
     """Re-block one attribute's list from old per-rank fragments onto the
     new world: concatenate each node's segments in old-rank order (which
     by the sorted-order invariant reconstructs the node-major *global*
-    list), then take contiguous ⌈L/p′⌉ chunks."""
+    list), then take contiguous ⌈L/p′⌉ chunks.
+
+    Fast path: concatenate the fragments once, expand each fragment's CSR
+    offsets to per-entry node ids, and let one stable regroup by node id
+    produce the node-major global order — the stable sort keeps old-rank
+    order within each node, exactly matching the per-node list rebuild it
+    replaced (kept as the reference-mode path).
+    """
+    if kernels.kernel_mode() == "reference":
+        return _reshard_one_attribute_reference(
+            spec, attr_index, fragments, rank, size
+        )
+    m = max(len(offsets) - 1 for (_v, _r, _l, offsets) in fragments)
+    all_values = np.concatenate([v for (v, _r, _l, _o) in fragments])
+    all_rids = np.concatenate([r for (_v, r, _l, _o) in fragments])
+    all_labels = np.concatenate([l for (_v, _r, l, _o) in fragments])
+    all_nodes = np.concatenate([
+        np.repeat(np.arange(len(o) - 1, dtype=np.int64), np.diff(o))
+        for (_v, _r, _l, o) in fragments
+    ])
+    take, _global_offsets = kernels.stable_regroup(all_nodes, m)
+
+    total = len(all_nodes)
+    chunk = -(-total // size) if total else 0
+    lo = min(rank * chunk, total)
+    hi = min(lo + chunk, total)
+
+    if hi > lo:
+        take = take[lo:hi]
+        g_values = all_values[take]
+        g_rids = all_rids[take]
+        g_labels = all_labels[take]
+        counts = np.bincount(all_nodes[take], minlength=m)
+    else:
+        g_values = np.empty(0, dtype=all_values.dtype)
+        g_rids = np.empty(0, dtype=np.int64)
+        g_labels = np.empty(0, dtype=np.int64)
+        counts = np.zeros(m, dtype=np.int64)
+
+    return LocalAttributeList(
+        spec=spec,
+        attr_index=attr_index,
+        values=g_values,
+        rids=g_rids,
+        labels=g_labels,
+        offsets=np.concatenate(([0], np.cumsum(counts, dtype=np.int64))),
+    )
+
+
+def _reshard_one_attribute_reference(
+    spec: AttributeSpec,
+    attr_index: int,
+    fragments: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]],
+    rank: int,
+    size: int,
+) -> LocalAttributeList:
+    """Reference-mode reshard: the doubly nested per-node list rebuild the
+    vectorized path replaced (kept for the equivalence suite and the
+    resume-time regression bench)."""
     m = max(len(offsets) - 1 for (_v, _r, _l, offsets) in fragments)
     per_node_values: list[list[np.ndarray]] = [[] for _ in range(m)]
     per_node_rids: list[list[np.ndarray]] = [[] for _ in range(m)]

@@ -12,7 +12,8 @@ from dataclasses import dataclass
 
 from .criteria import CRITERIA, GINI
 
-__all__ = ["InductionConfig", "SPLIT_MODES", "SPLIT_MODE_ENV"]
+__all__ = ["InductionConfig", "SPLIT_MODES", "SPLIT_MODE_ENV",
+           "SORT_LEVELS_ENV"]
 
 #: recognized FindSplit strategies (see :mod:`repro.core.strategies`)
 SPLIT_MODES = ("exact", "histogram", "voted")
@@ -20,6 +21,10 @@ SPLIT_MODES = ("exact", "histogram", "voted")
 #: environment variable selecting the split strategy when
 #: ``InductionConfig.split_mode`` is None (mirrors ``REPRO_SPMD_BACKEND``)
 SPLIT_MODE_ENV = "REPRO_SPMD_SPLIT_MODE"
+
+#: environment variable selecting the presort recursion depth when
+#: ``InductionConfig.sort_levels`` is None (same precedence pattern)
+SORT_LEVELS_ENV = "REPRO_SPMD_SORT_LEVELS"
 
 
 @dataclass(frozen=True)
@@ -92,6 +97,20 @@ class InductionConfig:
         Voted mode: number of attributes each rank votes for per node,
         and the number of globally elected attributes whose statistics
         are globalized (PV-Tree's k).
+    sort_levels:
+        Presort splitter-selection recursion depth (the multi-level AMS
+        sample sort of arXiv:1410.6754): 1 = classic single-level sample
+        sort; ``L > 1`` recurses splitter selection over rank groups in L
+        rounds so no round gathers ``p²`` samples or cuts ``p − 1`` ways.
+        ``None`` defers to ``REPRO_SPMD_SORT_LEVELS`` (default 1).  The
+        sorted output — and hence every induced tree — is bit-identical
+        for any value (the presort's *collective schedule* differs, the
+        data it produces does not), so this knob does *not* join the
+        checkpoint compatibility fingerprint.  Parallel only.
+    sort_oversample:
+        Multi-level presort only: regular samples per rank per round, as
+        a multiple of the round's split factor.  Never changes the
+        output, only the splitter balance.
     backend:
         SPMD execution engine for the parallel run: ``"thread"``,
         ``"process"``, ``"cooperative"``, or ``None`` to defer to the
@@ -121,6 +140,8 @@ class InductionConfig:
     split_mode: str | None = None
     n_bins: int = 32
     vote_top_k: int = 2
+    sort_levels: int | None = None
+    sort_oversample: int = 2
     backend: str | None = None
     checkpoint: object | None = None
 
@@ -136,6 +157,17 @@ class InductionConfig:
                 f"split mode must be one of {SPLIT_MODES}, got {mode!r}"
             )
         return mode
+
+    def resolved_sort_levels(self) -> int:
+        """The effective presort recursion depth: ``sort_levels`` when
+        set, else ``REPRO_SPMD_SORT_LEVELS``, else 1."""
+        levels = self.sort_levels
+        if levels is None:
+            raw = os.environ.get(SORT_LEVELS_ENV, "").strip()
+            levels = int(raw) if raw else 1
+        if levels < 1:
+            raise ValueError(f"sort levels must be >= 1, got {levels}")
+        return levels
 
     def __post_init__(self):
         if self.checkpoint is not None:
@@ -178,6 +210,10 @@ class InductionConfig:
             raise ValueError("n_bins must be >= 2")
         if self.vote_top_k < 1:
             raise ValueError("vote_top_k must be >= 1")
+        if self.sort_levels is not None and self.sort_levels < 1:
+            raise ValueError("sort_levels must be >= 1 or None")
+        if self.sort_oversample < 1:
+            raise ValueError("sort_oversample must be >= 1")
         if self.combined_enquiry and self.per_node_communication:
             # the per-node ablation un-batches what combined_enquiry
             # batches; since combined_enquiry is on by default, coerce it

@@ -26,9 +26,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..runtime import Communicator, ReduceOp, reduction
+from . import kernels
 from .attribute_lists import LocalAttributeList
 from .config import InductionConfig
-from .criteria import best_categorical_split, split_score_from_left
+from .criteria import best_categorical_split
 from .phases import FINDSPLIT1, FINDSPLIT2, timed_phase
 from .splits import BEST_SPLIT, candidate_beats, encode_mask, pack_candidates
 
@@ -167,57 +168,50 @@ def _scan_candidates(
 ) -> np.ndarray:
     """FindSplitII's local scan: score every valid split position of one
     continuous attribute and keep the per-node best (helper of
-    :func:`continuous_candidates`)."""
+    :func:`continuous_candidates`).
+
+    Pure kernel composition: within-segment exclusive class counts +
+    boundary validity + one-pass criterion evaluation + segmented argmin,
+    all from :mod:`repro.core.kernels`.  Integer count math and fixed-order
+    float expressions keep the output bit-identical to the pre-kernel
+    (and reference-mode) formulation.
+    """
     n_nodes, n_classes = totals.shape
     n_local = alist.n_local
     nodes = alist.entry_nodes()
-    labels = alist.labels
     values = alist.values
-    # exclusive per-class cumulative counts within each segment: one 2-D
-    # one-hot cumsum (integer math, so bit-identical to a per-class loop);
-    # built (n_classes, n) so the cumsum runs along contiguous rows, then
-    # viewed transposed — downstream math is order-agnostic
-    onehot = (labels == np.arange(n_classes)[:, None]).astype(np.int64)
-    excl = np.cumsum(onehot, axis=1)
-    excl -= onehot
-    excl = excl.T
-    seg_starts = np.minimum(alist.offsets[:-1], max(n_local - 1, 0))
-    seg_base = excl[seg_starts]  # rows of empty segments are unused
-    left = below[nodes] + (excl - seg_base[nodes])
+    # exclusive per-class counts within each segment, every segment in one
+    # pass; `below` (the exscan result) lifts them to global left counts
+    within = kernels.segment_class_prefix(
+        alist.labels, alist.offsets, n_classes, nodes=nodes
+    )
     comm.perf.add_compute("scan", n_local * n_classes)
-    comm.perf.transient_bytes(excl.nbytes + left.nbytes)
 
     # validity: strictly-larger value than the (global) predecessor
-    prev_val = np.empty(n_local, dtype=np.float64)
-    prev_val[1:] = values[:-1]
-    prev_val[0] = np.nan
-    is_seg_start = np.zeros(n_local, dtype=bool)
-    starts = alist.offsets[:-1][seg_sizes > 0]
-    is_seg_start[starts] = True
-    prev_val[starts] = pred_val[nodes[starts]]
-    valid = (
-        candidate_nodes[nodes]
-        & (is_seg_start <= has_pred[nodes])  # seg start needs a predecessor
-        & (values > np.where(np.isnan(prev_val), -np.inf, prev_val))
+    valid = kernels.boundary_valid_mask(
+        values, nodes, alist.offsets, candidate_nodes, has_pred, pred_val
     )
-    # NaN predecessors only occur at segment starts without predecessors,
-    # which the has_pred clause already rejects; the where() keeps the
-    # comparison well-defined.
-    if not valid.any():
+    # integer gathers: one flatnonzero, then ``np.take`` row gathers
+    # (several times cheaper than boolean masking / fancy row indexing)
+    vidx = np.flatnonzero(valid)
+    if len(vidx) == 0:
+        comm.perf.transient_bytes(within.nbytes)
         return out
 
-    v_nodes = nodes[valid]
-    v_thr = values[valid]
-    scores = split_score_from_left(left[valid], totals[v_nodes],
-                                   config.criterion)
+    v_nodes = nodes.take(vidx)      # non-decreasing: the segment contract
+    v_thr = values.take(vidx)
+    left = below.take(v_nodes, axis=0) + within.take(vidx, axis=0)
+    comm.perf.transient_bytes(within.nbytes + left.nbytes)
+    scores = kernels.split_scores(
+        left, totals.take(v_nodes, axis=0), config.criterion
+    )
     # per-node minimum by (score, threshold)
-    order = np.lexsort((v_thr, scores, v_nodes))
-    first = np.unique(v_nodes[order], return_index=True)[1]
-    pick = order[first]
-    winners = v_nodes[order][first]
-    out[winners, 0] = scores[pick]
+    winners, best_scores, best_thr = kernels.segment_argmin(
+        v_nodes, scores, v_thr
+    )
+    out[winners, 0] = best_scores
     out[winners, 1] = float(alist.attr_index)
-    out[winners, 2] = v_thr[pick]
+    out[winners, 2] = best_thr
     return out
 
 
@@ -249,24 +243,48 @@ def _score_categorical(
 ) -> tuple[np.ndarray, dict[int, tuple[np.ndarray, np.ndarray | None]]]:
     """Coordinator-side scoring of one categorical attribute's reduced
     count cubes; non-coordinators (``matrices is None``) return empty
-    candidate rows."""
+    candidate rows.
+
+    Multiway (paper-default) scoring runs as one batched
+    :func:`~repro.core.kernels.multiway_scores` pass over every candidate
+    node's count matrix at once; the per-node loop survives only for the
+    binary-subset configuration (a combinatorial search per node) and for
+    reference kernel mode.
+    """
     out = pack_candidates(len(candidate_nodes))
     state: dict[int, tuple[np.ndarray, np.ndarray | None]] = {}
-    if comm.rank == root and matrices is not None:
-        for k in np.nonzero(candidate_nodes)[0]:
-            score, mask = best_categorical_split(
-                matrices[k],
-                config.criterion,
-                binary_subsets=config.categorical_binary_subsets,
-                exhaustive_limit=config.subset_exhaustive_limit,
+    if comm.rank != root or matrices is None:
+        return out, state
+    cand = np.nonzero(candidate_nodes)[0]
+    if len(cand) == 0:
+        return out, state
+    if (
+        not config.categorical_binary_subsets
+        and kernels.kernel_mode() != "reference"
+    ):
+        scores = kernels.multiway_scores(matrices[cand], config.criterion)
+        fin = np.isfinite(scores)
+        hit = cand[fin]
+        out[hit, 0] = scores[fin]
+        out[hit, 1] = float(alist.attr_index)
+        out[hit, 2] = 0.0  # multiway splits carry no subset mask
+        for k in hit:
+            state[int(k)] = (matrices[k], None)
+        return out, state
+    for k in cand:
+        score, mask = best_categorical_split(
+            matrices[k],
+            config.criterion,
+            binary_subsets=config.categorical_binary_subsets,
+            exhaustive_limit=config.subset_exhaustive_limit,
+        )
+        if np.isfinite(score):
+            out[k] = (
+                score,
+                float(alist.attr_index),
+                encode_mask(mask) if mask is not None else 0.0,
             )
-            if np.isfinite(score):
-                out[k] = (
-                    score,
-                    float(alist.attr_index),
-                    encode_mask(mask) if mask is not None else 0.0,
-                )
-                state[int(k)] = (matrices[k], mask)
+            state[int(k)] = (matrices[k], mask)
     return out, state
 
 

@@ -36,9 +36,9 @@ from __future__ import annotations
 import numpy as np
 
 from ...runtime import Communicator, reduction
+from .. import kernels
 from ..attribute_lists import LocalAttributeList
 from ..config import InductionConfig
-from ..criteria import split_score_from_left
 from ..findsplit import _categorical_local_cube, _score_categorical
 from ..phases import FINDSPLIT1_HIST, timed_phase
 from ..splits import candidate_beats, pack_candidates
@@ -143,20 +143,21 @@ def score_continuous_cube(
     if not valid.any():
         return out
     rows, bounds = np.nonzero(valid)
+    # np.nonzero on the 2-D mask is row-major, so v_nodes is
+    # non-decreasing — the segment contract segment_argmin requires
     v_nodes = cand[rows]
     v_thr = edges[bstar[rows, bounds] - 1]
-    scores = split_score_from_left(
+    scores = kernels.split_scores(
         left[rows, bounds], totals[v_nodes], config.criterion
     )
-    order = np.lexsort((v_thr, scores, v_nodes))
-    first = np.unique(v_nodes[order], return_index=True)[1]
-    pick = order[first]
-    winners = v_nodes[order][first]
-    better = scores[pick] < out[winners, 0]
+    winners, best_scores, best_thr = kernels.segment_argmin(
+        v_nodes, scores, v_thr
+    )
+    better = best_scores < out[winners, 0]
     upd = winners[better]
-    out[upd, 0] = scores[pick][better]
+    out[upd, 0] = best_scores[better]
     out[upd, 1] = float(alist.attr_index)
-    out[upd, 2] = v_thr[pick][better]
+    out[upd, 2] = best_thr[better]
     return out
 
 

@@ -36,6 +36,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...runtime import reduction
+from .. import kernels
 from ..criteria import best_categorical_split
 from ..findsplit import _categorical_local_cube
 from ..phases import FINDSPLIT1_HIST, FINDSPLIT1_VOTE, timed_phase
@@ -94,12 +95,25 @@ class VotedSplitStrategy(HistogramSplitStrategy):
                 cube = _categorical_local_cube(
                     comm, alist, m, n_classes
                 )[cand].astype(np.int32)
-                for i in range(n_cand):
-                    score, _mask = _score_categorical_matrix(
-                        cube[i].astype(np.int64), config
+                if (config.categorical_binary_subsets
+                        or kernels.kernel_mode() == "reference"):
+                    # per-node combinatorial search (or reference mode):
+                    # the loop survives only here
+                    for i in range(n_cand):
+                        score, _mask = _score_categorical_matrix(
+                            cube[i].astype(np.int64), config
+                        )
+                        if np.isfinite(score):
+                            local_scores[i, a] = score
+                else:
+                    # the ballot scores every categorical attribute on
+                    # every rank — including attributes that will lose
+                    # every election — so this must not be a per-node
+                    # Python loop; one batched multiway pass covers all
+                    # candidate nodes (invalid nodes stay inf)
+                    local_scores[:, a] = kernels.multiway_scores(
+                        cube.astype(np.int64), config.criterion
                     )
-                    if np.isfinite(score):
-                        local_scores[i, a] = score
             cubes.append(cube)
             widths[a] = cube.shape[1] * n_classes
 

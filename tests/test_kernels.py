@@ -1,0 +1,358 @@
+"""Segment-vectorized kernels: every fast kernel ≡ its kept scalar
+reference on arbitrary segment layouts, and the kernel-mode switch is
+invisible end to end (same trees, same collective trace digests).
+
+The generators deliberately produce the degenerate shapes the induction
+loop sees in practice: empty segments, single-entry segments,
+single-class segments, nodes with no candidates, duplicate-heavy value
+runs, and id ranges beyond the int16 radix window.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import kernels
+from repro.core.kernels import forced_kernel_mode
+from repro.runtime import TraceCollector
+
+from tests.conftest import assert_trees_equal
+
+# ---------------------------------------------------------------------------
+# shared generators
+# ---------------------------------------------------------------------------
+
+#: per-segment sizes, including empty segments
+seg_sizes_st = st.lists(st.integers(0, 7), min_size=1, max_size=8)
+
+
+def _layout(sizes: list[int]) -> tuple[np.ndarray, np.ndarray]:
+    """(offsets, per-entry nodes) of a CSR layout with the given sizes."""
+    offsets = np.concatenate(
+        ([0], np.cumsum(np.asarray(sizes, dtype=np.int64)))
+    )
+    nodes = np.repeat(np.arange(len(sizes), dtype=np.int64), sizes)
+    return offsets, nodes
+
+
+def test_kernel_mode_default_and_validation(monkeypatch):
+    monkeypatch.delenv(kernels.KERNEL_MODE_ENV, raising=False)
+    assert kernels.kernel_mode() == "fast"
+    monkeypatch.setenv(kernels.KERNEL_MODE_ENV, "reference")
+    assert kernels.kernel_mode() == "reference"
+    monkeypatch.setenv(kernels.KERNEL_MODE_ENV, "turbo")
+    with pytest.raises(ValueError):
+        kernels.kernel_mode()
+    with pytest.raises(ValueError):
+        with forced_kernel_mode("turbo"):
+            pass
+
+
+def test_forced_kernel_mode_restores_prior(monkeypatch):
+    monkeypatch.setenv(kernels.KERNEL_MODE_ENV, "fast")
+    with forced_kernel_mode("reference"):
+        assert kernels.kernel_mode() == "reference"
+    assert kernels.kernel_mode() == "fast"
+
+
+# ---------------------------------------------------------------------------
+# segment_class_prefix
+# ---------------------------------------------------------------------------
+
+@settings(deadline=None, max_examples=60)
+@given(seg_sizes_st, st.integers(1, 4), st.integers(0, 2 ** 31 - 1))
+def test_segment_class_prefix_matches_reference(sizes, n_classes, seed):
+    rng = np.random.default_rng(seed)
+    offsets, nodes = _layout(sizes)
+    labels = rng.integers(0, n_classes, int(offsets[-1])).astype(np.int64)
+    fast = kernels.segment_class_prefix(labels, offsets, n_classes,
+                                        nodes=nodes)
+    ref = kernels.segment_class_prefix_reference(labels, offsets, n_classes)
+    np.testing.assert_array_equal(fast, ref)
+
+
+def test_segment_class_prefix_single_class_and_empty():
+    offsets = np.array([0, 0, 3, 3], dtype=np.int64)
+    labels = np.zeros(3, dtype=np.int64)  # single-class segment
+    fast = kernels.segment_class_prefix(labels, offsets, 2)
+    ref = kernels.segment_class_prefix_reference(labels, offsets, 2)
+    np.testing.assert_array_equal(fast, ref)
+    np.testing.assert_array_equal(fast[:, 0], [0, 1, 2])
+    # fully empty layout
+    empty = np.array([0, 0], dtype=np.int64)
+    out = kernels.segment_class_prefix(labels[:0], empty, 3)
+    assert out.shape == (0, 3)
+
+
+# ---------------------------------------------------------------------------
+# boundary_valid_mask
+# ---------------------------------------------------------------------------
+
+@settings(deadline=None, max_examples=60)
+@given(seg_sizes_st, st.integers(0, 2 ** 31 - 1))
+def test_boundary_valid_mask_matches_reference(sizes, seed):
+    rng = np.random.default_rng(seed)
+    offsets, nodes = _layout(sizes)
+    m = len(sizes)
+    # duplicate-heavy sorted-within-segment values
+    values = np.concatenate([
+        np.sort(rng.integers(0, 4, s).astype(np.float64))
+        for s in sizes
+    ]) if offsets[-1] else np.empty(0, dtype=np.float64)
+    candidate_nodes = rng.random(m) < 0.8
+    has_pred = rng.random(m) < 0.5
+    pred_val = rng.integers(-1, 4, m).astype(np.float64)
+    args = (values, nodes, offsets, candidate_nodes, has_pred, pred_val)
+    np.testing.assert_array_equal(
+        kernels.boundary_valid_mask(*args),
+        kernels.boundary_valid_mask_reference(*args),
+    )
+
+
+# ---------------------------------------------------------------------------
+# split_scores
+# ---------------------------------------------------------------------------
+
+@settings(deadline=None, max_examples=40)
+@given(st.integers(0, 30), st.integers(1, 4),
+       st.sampled_from(["gini", "entropy"]), st.integers(0, 2 ** 31 - 1))
+def test_split_scores_match_reference(m, n_classes, criterion, seed):
+    rng = np.random.default_rng(seed)
+    totals = rng.integers(0, 20, (m, n_classes)).astype(np.int64)
+    left = np.minimum(
+        rng.integers(0, 20, (m, n_classes)).astype(np.int64), totals
+    )
+    fast = kernels.split_scores(left, totals, criterion)
+    ref = kernels.split_scores_reference(left, totals, criterion)
+    np.testing.assert_array_equal(fast, ref)  # bitwise, not approx
+
+
+# ---------------------------------------------------------------------------
+# segment_argmin
+# ---------------------------------------------------------------------------
+
+@settings(deadline=None, max_examples=80)
+@given(
+    st.lists(
+        # (group, score, tiebreak) with few distinct scores to force ties
+        st.tuples(st.integers(0, 5), st.integers(0, 3), st.integers(0, 9)),
+        min_size=0, max_size=60,
+    )
+)
+def test_segment_argmin_matches_reference(rows):
+    rows.sort(key=lambda t: t[0])  # the non-decreasing groups contract
+    groups = np.array([g for g, _s, _t in rows], dtype=np.int64)
+    scores = np.array([float(s) for _g, s, _t in rows])
+    tiebreak = np.array([float(t) for _g, _s, t in rows])
+    f_g, f_s, f_t = kernels.segment_argmin(groups, scores, tiebreak)
+    r_g, r_s, r_t = kernels.segment_argmin_reference(groups, scores, tiebreak)
+    np.testing.assert_array_equal(f_g, r_g)
+    np.testing.assert_array_equal(f_s, r_s)
+    np.testing.assert_array_equal(f_t, r_t)
+
+
+def test_segment_argmin_tiebreaks_toward_smaller_threshold():
+    groups = np.array([2, 2, 2, 7, 7], dtype=np.int64)
+    scores = np.array([0.5, 0.5, 0.9, 1.0, 1.0])
+    thr = np.array([3.0, 1.0, 0.0, 2.0, 5.0])
+    g, s, t = kernels.segment_argmin(groups, scores, thr)
+    np.testing.assert_array_equal(g, [2, 7])
+    np.testing.assert_array_equal(s, [0.5, 1.0])
+    np.testing.assert_array_equal(t, [1.0, 2.0])
+
+
+# ---------------------------------------------------------------------------
+# multiway_scores
+# ---------------------------------------------------------------------------
+
+@settings(deadline=None, max_examples=60)
+@given(st.integers(0, 12), st.integers(1, 5), st.integers(1, 3),
+       st.sampled_from(["gini", "entropy"]), st.integers(0, 2 ** 31 - 1))
+def test_multiway_scores_match_reference(m, n_values, n_classes, criterion,
+                                         seed):
+    rng = np.random.default_rng(seed)
+    cubes = rng.integers(0, 6, (m, n_values, n_classes)).astype(np.int64)
+    # force some all-empty and single-value nodes (must come out inf)
+    if m >= 2:
+        cubes[0] = 0
+        cubes[1, 1:] = 0
+    fast = kernels.multiway_scores(cubes, criterion)
+    ref = kernels.multiway_scores_reference(cubes, criterion)
+    np.testing.assert_array_equal(fast, ref)  # bitwise, inf included
+
+
+# ---------------------------------------------------------------------------
+# stable_regroup
+# ---------------------------------------------------------------------------
+
+@settings(deadline=None, max_examples=80)
+@given(st.lists(st.integers(-1, 6), min_size=0, max_size=80),
+       st.integers(7, 9))
+def test_stable_regroup_matches_reference(ids, n_next):
+    new_nodes = np.array(ids, dtype=np.int64)
+    f_take, f_off = kernels.stable_regroup(new_nodes, n_next)
+    r_take, r_off = kernels.stable_regroup_reference(new_nodes, n_next)
+    np.testing.assert_array_equal(f_take, r_take)
+    np.testing.assert_array_equal(f_off, r_off)
+
+
+def test_stable_regroup_beyond_int16_range():
+    """n_next past the int16 radix window must fall back correctly."""
+    rng = np.random.default_rng(5)
+    n_next = (1 << 15) + 100
+    new_nodes = rng.integers(-1, n_next, 5000).astype(np.int64)
+    f_take, f_off = kernels.stable_regroup(new_nodes, n_next)
+    r_take, r_off = kernels.stable_regroup_reference(new_nodes, n_next)
+    np.testing.assert_array_equal(f_take, r_take)
+    np.testing.assert_array_equal(f_off, r_off)
+    assert f_off[-1] == (new_nodes >= 0).sum()
+
+
+def test_stable_regroup_is_stable_within_groups():
+    new_nodes = np.array([1, 0, 1, -1, 0, 1], dtype=np.int64)
+    take, offsets = kernels.stable_regroup(new_nodes, 2)
+    np.testing.assert_array_equal(take, [1, 4, 0, 2, 5])
+    np.testing.assert_array_equal(offsets, [0, 2, 5])
+
+
+# ---------------------------------------------------------------------------
+# consumers: reorder / local children / reshard under both modes
+# ---------------------------------------------------------------------------
+
+def _random_alist(rng, sizes, categorical=False, n_values=4):
+    from repro.core.attribute_lists import LocalAttributeList
+    from repro.datagen.schema import AttributeSpec
+
+    offsets, _nodes = _layout(sizes)
+    n = int(offsets[-1])
+    if categorical:
+        spec = AttributeSpec(name="c", kind="categorical", n_values=n_values)
+        values = rng.integers(0, n_values, n).astype(np.int32)
+    else:
+        spec = AttributeSpec(name="x", kind="continuous")
+        values = np.concatenate([
+            np.sort(rng.normal(0, 1, s)) for s in sizes
+        ]) if n else np.empty(0)
+    return LocalAttributeList(
+        spec=spec, attr_index=0, values=values,
+        rids=rng.permutation(n).astype(np.int64),
+        labels=rng.integers(0, 2, n).astype(np.int64),
+        offsets=offsets,
+    )
+
+
+@pytest.mark.parametrize("n_next", [1, 3, 7])
+def test_reorder_fast_equals_reference(n_next):
+    rng = np.random.default_rng(11)
+    sizes = [5, 0, 9, 1, 4]
+    n_local = sum(sizes)
+    new_nodes = rng.integers(-1, n_next, n_local).astype(np.int64)
+    outputs = []
+    for mode in ("fast", "reference"):
+        alist = _random_alist(np.random.default_rng(11), sizes)
+        with forced_kernel_mode(mode):
+            alist.reorder(new_nodes.copy(), n_next)
+        outputs.append((alist.values, alist.rids, alist.labels,
+                        alist.offsets))
+    for a, b in zip(*outputs):
+        np.testing.assert_array_equal(a, b)
+
+
+def test_local_children_categorical_fast_equals_reference():
+    from repro.core.splitter import LevelDecisions, _local_children
+
+    rng = np.random.default_rng(13)
+    sizes = [6, 0, 8, 3]
+    m = len(sizes)
+    alist = _random_alist(rng, sizes, categorical=True, n_values=4)
+    splitting = np.array([True, True, False, True])
+    decisions = LevelDecisions(
+        splitting=splitting,
+        winner_attr=np.where(splitting, 0, -1),
+        threshold=np.full(m, np.nan),
+        cat_layouts={k: rng.permutation(4).astype(np.int64)
+                     for k in np.nonzero(splitting)[0]},
+        child_base=np.arange(m, dtype=np.int64) * 4,
+        n_next=4 * m,
+    )
+    results = []
+    for mode in ("fast", "reference"):
+        with forced_kernel_mode(mode):
+            results.append(
+                _local_children(alist, decisions, np.ones(m, dtype=bool))
+            )
+    np.testing.assert_array_equal(results[0][0], results[1][0])
+    np.testing.assert_array_equal(results[0][1], results[1][1])
+
+
+@pytest.mark.parametrize("old_size,new_size", [(3, 2), (2, 5), (4, 1)])
+def test_reshard_fast_equals_reference(old_size, new_size):
+    from repro.core.attribute_lists import _reshard_one_attribute
+    from repro.datagen.schema import AttributeSpec
+
+    rng = np.random.default_rng(17)
+    spec = AttributeSpec(name="x", kind="continuous")
+    m = 4
+    fragments = []
+    for _ in range(old_size):
+        sizes = rng.integers(0, 6, m)
+        offsets = np.concatenate(([0], np.cumsum(sizes, dtype=np.int64)))
+        n = int(offsets[-1])
+        fragments.append((
+            rng.normal(0, 1, n),
+            rng.integers(0, 10_000, n).astype(np.int64),
+            rng.integers(0, 2, n).astype(np.int64),
+            offsets,
+        ))
+    for rank in range(new_size):
+        outs = []
+        for mode in ("fast", "reference"):
+            with forced_kernel_mode(mode):
+                outs.append(_reshard_one_attribute(
+                    spec, 0, fragments, rank, new_size
+                ))
+        for field in ("values", "rids", "labels", "offsets"):
+            np.testing.assert_array_equal(
+                getattr(outs[0], field), getattr(outs[1], field)
+            )
+
+
+# ---------------------------------------------------------------------------
+# end to end: the mode switch is invisible (trees + trace digests)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("split_mode", ["exact", "histogram", "voted"])
+def test_fit_reference_mode_is_bit_identical(monkeypatch, split_mode):
+    """A full parallel fit under reference kernels must match the fast
+    run event for event: same tree, same per-rank collective digests —
+    the strongest statement that the overhaul is a kernel swap, not an
+    algorithm change."""
+    from repro.core import InductionConfig, ScalParC
+    from repro.datagen import generate_quest
+
+    ds = generate_quest(300, "F2", seed=7)
+    config = InductionConfig(split_mode=split_mode)
+
+    def run(mode):
+        monkeypatch.setenv(kernels.KERNEL_MODE_ENV, mode)
+        tc = TraceCollector()
+        result = ScalParC(n_processors=3, config=config, machine=None,
+                          backend="thread").fit(ds, trace=tc)
+        return result, tc
+
+    res_fast, tc_fast = run("fast")
+    res_ref, tc_ref = run("reference")
+    assert_trees_equal(res_fast.tree, res_ref.tree,
+                       f"(kernel modes, {split_mode})")
+    for rank in range(3):
+        fast_events = tc_fast.events_of(rank)
+        ref_events = tc_ref.events_of(rank)
+        assert len(fast_events) == len(ref_events)
+        for a, b in zip(fast_events, ref_events):
+            assert (a.op, a.payload_digest, a.result_digest, a.phase,
+                    a.level) == \
+                   (b.op, b.payload_digest, b.result_digest, b.phase,
+                    b.level)
