@@ -128,6 +128,26 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--distributed-source", action="store_true",
                        help="generate per-rank blocks on demand instead of "
                             "materializing the dataset (counter-based RNG)")
+    train.add_argument("--stream", action="store_true",
+                       help="consume the training set as a chunked stream "
+                            "(epoch-loop induction over mergeable split "
+                            "sketches; see docs/streaming.md)")
+    train.add_argument("--stream-chunk", type=int, default=None, metavar="N",
+                       help="records ingested per epoch chunk "
+                            "(default 4096; REPRO_STREAM_CHUNK_RECORDS)")
+    train.add_argument("--sketch-size", type=int, default=None, metavar="K",
+                       help="per-(node, attribute) sketch capacity; splits "
+                            "are batch-exact while distinct values fit "
+                            "(default 256; REPRO_STREAM_SKETCH_SIZE)")
+    train.add_argument("--stream-grow", type=int, default=None, metavar="N",
+                       help="grow a frontier node once its sketch has seen "
+                            "this many records (0 = grow only at end of "
+                            "stream, the batch-exact default; "
+                            "REPRO_STREAM_GROW_RECORDS)")
+    train.add_argument("--max-epochs", type=int, default=None, metavar="E",
+                       help="with --stream: stop after E epoch chunks at a "
+                            "sealed checkpoint cut (resume later with "
+                            "--resume)")
     train.add_argument("--checkpoint-dir", type=Path, default=None,
                        help="snapshot the fit at level boundaries into this "
                             "directory; on the process backend crashed/"
@@ -245,7 +265,17 @@ def _cmd_train(args: argparse.Namespace) -> int:
         n_bins=args.bins,
         vote_top_k=args.vote_top_k,
         sort_levels=args.sort_levels,
+        stream_chunk_records=args.stream_chunk,
+        sketch_size=args.sketch_size,
+        stream_grow_records=args.stream_grow,
     )
+    if args.max_epochs is not None and not args.stream:
+        print("error: --max-epochs requires --stream", file=sys.stderr)
+        return 2
+    if args.stream and args.serial:
+        print("error: --stream needs the SPMD engine (drop --serial)",
+              file=sys.stderr)
+        return 2
     if args.serial and config.resolved_split_mode() != "exact":
         print("note: --serial always uses the exact split enumeration "
               f"(--split-mode {config.resolved_split_mode()} ignored)",
@@ -280,10 +310,19 @@ def _cmd_train(args: argparse.Namespace) -> int:
             from .runtime import TraceCollector
 
             collector = TraceCollector()
-        result = ScalParC(args.processors, config=config,
-                          backend=args.backend).fit(train_set,
-                                                    trace=collector,
-                                                    checkpoint=checkpoint)
+        clf = ScalParC(args.processors, config=config, backend=args.backend)
+        if args.stream:
+            if args.distributed_source:
+                print("note: --stream chunks a materialized dataset, so "
+                      "--distributed-source is materialized first",
+                      file=sys.stderr)
+                train_set = train_set.materialize()
+            result = clf.fit_stream(train_set, trace=collector,
+                                    checkpoint=checkpoint,
+                                    max_epochs=args.max_epochs)
+        else:
+            result = clf.fit(train_set, trace=collector,
+                             checkpoint=checkpoint)
         tree, stats = result.tree, result.stats
     if args.prune:
         tree = prune_pessimistic(tree)

@@ -119,6 +119,85 @@ class ScalParC:
         return FitResult(tree=trees[0], stats=stats,
                          n_processors=self.n_processors)
 
+    def fit_stream(self, dataset: Dataset, trace: object | None = None,
+                   checkpoint: object | None = None,
+                   max_epochs: int | None = None) -> FitResult:
+        """Induce a tree from ``dataset`` consumed as a chunked stream.
+
+        Records are ingested in epochs of
+        ``config.stream_chunk_records`` and split statistics live in
+        mergeable sketches (see :mod:`repro.streaming`); with the default
+        finalize-only growth and lossless sketches the result is
+        bit-identical to :meth:`fit` on the same records.  ``max_epochs``
+        caps how many chunks this call consumes — the fit stops at a
+        sealed epoch cut (pass ``checkpoint`` to make it resumable) and
+        skips finalize growth, so a later resumed call continues the
+        stream exactly where this one stopped.  ``trace`` and
+        ``checkpoint`` behave as in :meth:`fit`; streaming cuts land at
+        every epoch boundary instead of level boundaries.
+        """
+        return self._run_stream(dataset, trace=trace, checkpoint=checkpoint,
+                                max_epochs=max_epochs, finalize=True,
+                                fresh_cursor=False)
+
+    def partial_fit(self, dataset: Dataset, trace: object | None = None,
+                    checkpoint: object | None = None) -> FitResult:
+        """Fold one new stream segment into a checkpointed streaming fit.
+
+        ``dataset`` is treated as a brand-new segment (the ingest cursor
+        restarts at 0) appended to whatever tree the checkpoint under
+        ``checkpoint`` holds — or a fresh tree when none exists yet.  The
+        frontier is left open (no finalize growth) so further segments
+        can keep refining it; call :meth:`fit_stream` with ``resume`` on
+        the last segment to finalize.  ``checkpoint`` is required: it is
+        the only place the tree persists between segments.
+        """
+        from dataclasses import replace
+
+        from ..runtime.checkpoint import latest_manifest, resolve_checkpoint
+
+        ckpt = resolve_checkpoint(checkpoint
+                                  if checkpoint is not None
+                                  else self.config.checkpoint)
+        if ckpt is None:
+            raise ValueError(
+                "partial_fit needs a checkpoint directory to carry the "
+                "tree between segments"
+            )
+        # a prior segment's cut means this one continues its tree
+        if ckpt.resume is False and latest_manifest(ckpt.dir) is not None:
+            ckpt = replace(ckpt, resume=True)
+        return self._run_stream(dataset, trace=trace, checkpoint=ckpt,
+                                max_epochs=None, finalize=False,
+                                fresh_cursor=True)
+
+    def _run_stream(self, dataset: Dataset, *, trace, checkpoint,
+                    max_epochs, finalize, fresh_cursor) -> FitResult:
+        from ..streaming import stream_induce_worker
+
+        if checkpoint is None:
+            checkpoint = self.config.checkpoint
+        kwargs = {"max_epochs": max_epochs, "finalize": finalize,
+                  "fresh_cursor": fresh_cursor}
+        if self.machine is not None:
+            perf = PerfRun(self.n_processors, self.machine)
+            trees = run_spmd(
+                self.n_processors, stream_induce_worker,
+                args=(dataset, self.config), kwargs=kwargs,
+                observer=perf, rank_perf=perf.trackers,
+                backend=self.backend, trace=trace, checkpoint=checkpoint,
+            )
+            stats = perf.stats()
+        else:
+            trees = run_spmd(
+                self.n_processors, stream_induce_worker,
+                args=(dataset, self.config), kwargs=kwargs,
+                backend=self.backend, trace=trace, checkpoint=checkpoint,
+            )
+            stats = None
+        return FitResult(tree=trees[0], stats=stats,
+                         n_processors=self.n_processors)
+
 
 def fit_scalparc(
     dataset: Dataset,

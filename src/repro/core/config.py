@@ -10,10 +10,12 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
+from ..runtime.envutil import env_float, env_int
 from .criteria import CRITERIA, GINI
 
 __all__ = ["InductionConfig", "SPLIT_MODES", "SPLIT_MODE_ENV",
-           "SORT_LEVELS_ENV"]
+           "SORT_LEVELS_ENV", "STREAM_CHUNK_ENV", "SKETCH_SIZE_ENV",
+           "STREAM_GROW_ENV", "STREAM_REOPEN_ENV"]
 
 #: recognized FindSplit strategies (see :mod:`repro.core.strategies`)
 SPLIT_MODES = ("exact", "histogram", "voted")
@@ -25,6 +27,14 @@ SPLIT_MODE_ENV = "REPRO_SPMD_SPLIT_MODE"
 #: environment variable selecting the presort recursion depth when
 #: ``InductionConfig.sort_levels`` is None (same precedence pattern)
 SORT_LEVELS_ENV = "REPRO_SPMD_SORT_LEVELS"
+
+#: environment variables backing the streaming-induction knobs when the
+#: corresponding ``InductionConfig`` field is None (same precedence
+#: pattern as ``REPRO_SPMD_BACKEND`` / ``REPRO_SPMD_SORT_LEVELS``)
+STREAM_CHUNK_ENV = "REPRO_STREAM_CHUNK_RECORDS"
+SKETCH_SIZE_ENV = "REPRO_STREAM_SKETCH_SIZE"
+STREAM_GROW_ENV = "REPRO_STREAM_GROW_RECORDS"
+STREAM_REOPEN_ENV = "REPRO_STREAM_REOPEN_DELTA"
 
 
 @dataclass(frozen=True)
@@ -113,9 +123,10 @@ class InductionConfig:
         output, only the splitter balance.
     backend:
         SPMD execution engine for the parallel run: ``"thread"``,
-        ``"process"``, ``"cooperative"``, or ``None`` to defer to the
-        ``REPRO_SPMD_BACKEND`` environment variable (default thread).
-        The induced tree is backend-independent.  Parallel only.
+        ``"process"``, ``"cooperative"``, ``"tcp"``, or ``None`` to
+        defer to the ``REPRO_SPMD_BACKEND`` environment variable
+        (default thread).  The induced tree is backend-independent.
+        Parallel only.
     checkpoint:
         Level-boundary checkpointing (see
         :mod:`repro.runtime.checkpoint`): a
@@ -124,6 +135,32 @@ class InductionConfig:
         argument of :meth:`ScalParC.fit` and then the
         ``REPRO_SPMD_CHECKPOINT`` environment variable.  Never changes
         the induced tree.  Parallel only.
+    stream_chunk_records:
+        Streaming induction (see :mod:`repro.streaming`): global records
+        ingested per epoch.  ``None`` defers to
+        ``REPRO_STREAM_CHUNK_RECORDS`` (default 4096).
+    sketch_size:
+        Streaming induction: capacity (distinct-value slots) of each
+        per-(node, attribute) quantile sketch.  The sketch is *lossless*
+        — and the streamed tree bit-identical to batch ScalParC on the
+        same prefix — whenever every (node, attribute) pair sees at most
+        this many distinct values; beyond that it compresses
+        deterministically and splits become approximate.  ``None``
+        defers to ``REPRO_STREAM_SKETCH_SIZE`` (default 256).
+    stream_grow_records:
+        Streaming induction: minimum *global* record mass a frontier
+        node's sketch must have seen before it may split mid-stream.
+        ``0`` (the default) disables eager growth entirely — the tree
+        grows only at end-of-stream finalize, which is the mode that
+        reproduces batch ScalParC exactly.  ``None`` defers to
+        ``REPRO_STREAM_GROW_RECORDS`` (default 0).
+    stream_reopen_delta:
+        Streaming induction: reopen a closed leaf when the
+        total-variation distance between its class distribution at close
+        time and its current distribution exceeds this threshold (only
+        meaningful with eager growth, where leaves can close
+        mid-stream).  ``None`` defers to ``REPRO_STREAM_REOPEN_DELTA``
+        (default 0.25).
     """
 
     max_depth: int | None = None
@@ -144,6 +181,10 @@ class InductionConfig:
     sort_oversample: int = 2
     backend: str | None = None
     checkpoint: object | None = None
+    stream_chunk_records: int | None = None
+    sketch_size: int | None = None
+    stream_grow_records: int | None = None
+    stream_reopen_delta: float | None = None
 
     def resolved_split_mode(self) -> str:
         """The effective FindSplit strategy name: ``split_mode`` when set,
@@ -163,11 +204,54 @@ class InductionConfig:
         set, else ``REPRO_SPMD_SORT_LEVELS``, else 1."""
         levels = self.sort_levels
         if levels is None:
-            raw = os.environ.get(SORT_LEVELS_ENV, "").strip()
-            levels = int(raw) if raw else 1
+            levels = env_int(SORT_LEVELS_ENV, 1)
         if levels < 1:
             raise ValueError(f"sort levels must be >= 1, got {levels}")
         return levels
+
+    def resolved_stream_chunk_records(self) -> int:
+        """The effective per-epoch global chunk size: the field when
+        set, else ``REPRO_STREAM_CHUNK_RECORDS``, else 4096."""
+        chunk = self.stream_chunk_records
+        if chunk is None:
+            chunk = env_int(STREAM_CHUNK_ENV, 4096)
+        if chunk < 1:
+            raise ValueError(
+                f"stream chunk records must be >= 1, got {chunk}")
+        return chunk
+
+    def resolved_sketch_size(self) -> int:
+        """The effective per-(node, attribute) sketch capacity: the
+        field when set, else ``REPRO_STREAM_SKETCH_SIZE``, else 256."""
+        size = self.sketch_size
+        if size is None:
+            size = env_int(SKETCH_SIZE_ENV, 256)
+        if size < 8:
+            raise ValueError(f"sketch size must be >= 8, got {size}")
+        return size
+
+    def resolved_stream_grow_records(self) -> int:
+        """The effective eager-growth mass threshold: the field when
+        set, else ``REPRO_STREAM_GROW_RECORDS``, else 0 (finalize-only
+        growth)."""
+        grow = self.stream_grow_records
+        if grow is None:
+            grow = env_int(STREAM_GROW_ENV, 0)
+        if grow < 0:
+            raise ValueError(
+                f"stream grow records must be >= 0, got {grow}")
+        return grow
+
+    def resolved_stream_reopen_delta(self) -> float:
+        """The effective leaf-reopen distribution-shift threshold: the
+        field when set, else ``REPRO_STREAM_REOPEN_DELTA``, else 0.25."""
+        delta = self.stream_reopen_delta
+        if delta is None:
+            delta = env_float(STREAM_REOPEN_ENV, 0.25)
+        if not 0.0 <= delta <= 1.0:
+            raise ValueError(
+                f"stream reopen delta must be in [0, 1], got {delta}")
+        return delta
 
     def __post_init__(self):
         if self.checkpoint is not None:
@@ -214,6 +298,17 @@ class InductionConfig:
             raise ValueError("sort_levels must be >= 1 or None")
         if self.sort_oversample < 1:
             raise ValueError("sort_oversample must be >= 1")
+        if self.stream_chunk_records is not None \
+                and self.stream_chunk_records < 1:
+            raise ValueError("stream_chunk_records must be >= 1 or None")
+        if self.sketch_size is not None and self.sketch_size < 8:
+            raise ValueError("sketch_size must be >= 8 or None")
+        if self.stream_grow_records is not None \
+                and self.stream_grow_records < 0:
+            raise ValueError("stream_grow_records must be >= 0 or None")
+        if self.stream_reopen_delta is not None \
+                and not 0.0 <= self.stream_reopen_delta <= 1.0:
+            raise ValueError("stream_reopen_delta must be in [0, 1] or None")
         if self.combined_enquiry and self.per_node_communication:
             # the per-node ablation un-batches what combined_enquiry
             # batches; since combined_enquiry is on by default, coerce it

@@ -26,8 +26,12 @@ __all__ = [
     "FINDSPLIT2",
     "PERFORMSPLIT1",
     "PERFORMSPLIT2",
+    "STREAM_INGEST",
+    "STREAM_SKETCH",
+    "STREAM_GROW",
     "ALL_PHASES",
     "FINDSPLIT_PHASES",
+    "STREAM_PHASES",
     "timed_phase",
 ]
 
@@ -50,6 +54,19 @@ ALL_PHASES = (PRESORT, FINDSPLIT1, FINDSPLIT2, PERFORMSPLIT1, PERFORMSPLIT2)
 #: (byte-accounting group used by the per-mode communication reports
 #: and benchmarks)
 FINDSPLIT_PHASES = (FINDSPLIT1, FINDSPLIT1_HIST, FINDSPLIT1_VOTE, FINDSPLIT2)
+
+#: streaming induction (see :mod:`repro.streaming`): routing one epoch's
+#: chunk into the frontier and updating local sketches
+STREAM_INGEST = "Stream.ingest"
+#: streaming induction: globalizing the per-(node, attribute) sketches
+#: and per-node class totals through the fused collective layer
+STREAM_SKETCH = "Stream.sketch"
+#: streaming induction: frontier growth rounds (split scoring from the
+#: global sketches, child sketch re-merges) and leaf-reopen checks
+STREAM_GROW = "Stream.grow"
+#: the epoch-loop phase set of a streaming fit (byte-accounting group
+#: for the streaming benchmark and trace reports)
+STREAM_PHASES = (STREAM_INGEST, STREAM_SKETCH, STREAM_GROW)
 
 
 @contextmanager

@@ -30,6 +30,8 @@ import os
 from abc import ABC, abstractmethod
 from typing import Any, Callable, Sequence
 
+from ..envutil import env_float
+
 __all__ = [
     "DEFAULT_BACKEND",
     "DEFAULT_TIMEOUT",
@@ -64,15 +66,7 @@ def resolve_timeout(timeout: float | None = None) -> float:
     sweeps raise it so slow combine phases never spuriously abort.
     """
     if timeout is None:
-        env = os.environ.get(TIMEOUT_ENV)
-        if not env:
-            return DEFAULT_TIMEOUT
-        try:
-            timeout = float(env)
-        except ValueError:
-            raise ValueError(
-                f"{TIMEOUT_ENV} must be a number of seconds, got {env!r}"
-            ) from None
+        timeout = env_float(TIMEOUT_ENV, DEFAULT_TIMEOUT)
     if timeout <= 0:
         raise ValueError(f"timeout must be positive, got {timeout}")
     return float(timeout)

@@ -69,6 +69,7 @@ import threading
 import time
 from typing import Any, Callable, Sequence
 
+from ..envutil import env_float, env_int
 from ..errors import (
     CollectiveAbortedError,
     SpmdError,
@@ -139,16 +140,7 @@ def resolve_tcp_hosts(size: int, n_hosts: int | None = None) -> int:
     """Number of loopback host processes: explicit argument, then the
     ``REPRO_SPMD_TCP_HOSTS`` env var, then 2 (clamped to [1, size])."""
     if n_hosts is None:
-        env = os.environ.get(HOSTS_ENV)
-        if env:
-            try:
-                n_hosts = int(env)
-            except ValueError:
-                raise ValueError(
-                    f"{HOSTS_ENV} must be an integer, got {env!r}"
-                ) from None
-        else:
-            n_hosts = 2
+        n_hosts = env_int(HOSTS_ENV, 2)
     if n_hosts <= 0:
         raise ValueError(f"host count must be positive, got {n_hosts}")
     return min(n_hosts, size)
@@ -170,34 +162,17 @@ def host_topology(size: int, n_hosts: int) -> list[list[int]]:
 
 
 def resolve_hb_interval() -> float:
-    env = os.environ.get(HB_ENV)
-    if not env:
-        return DEFAULT_HB_INTERVAL
-    try:
-        interval = float(env)
-    except ValueError:
-        raise ValueError(
-            f"{HB_ENV} must be a number of seconds, got {env!r}"
-        ) from None
+    interval = env_float(HB_ENV, DEFAULT_HB_INTERVAL)
     if interval <= 0:
         raise ValueError(f"heartbeat interval must be positive, got {interval}")
     return interval
 
 
 def resolve_hb_timeout(interval: float) -> float:
-    env = os.environ.get(HB_TIMEOUT_ENV)
-    if env:
-        try:
-            hb_timeout = float(env)
-        except ValueError:
-            raise ValueError(
-                f"{HB_TIMEOUT_ENV} must be a number of seconds, got {env!r}"
-            ) from None
-    else:
-        # generous by default: EOFs catch ordinary deaths instantly, the
-        # heartbeat only needs to catch silent wedges, and CI machines
-        # starve threads for whole seconds under load
-        hb_timeout = max(10.0, 20.0 * interval)
+    # generous by default: EOFs catch ordinary deaths instantly, the
+    # heartbeat only needs to catch silent wedges, and CI machines
+    # starve threads for whole seconds under load
+    hb_timeout = env_float(HB_TIMEOUT_ENV, max(10.0, 20.0 * interval))
     if hb_timeout <= interval:
         raise ValueError(
             f"heartbeat timeout ({hb_timeout}s) must exceed the "

@@ -1,0 +1,56 @@
+"""Shared helpers for parsing numeric environment variables.
+
+Several runtime knobs (sort levels, collective timeouts, TCP host
+grouping, heartbeat intervals, frame limits) are read from environment
+variables.  Parsing them with a bare ``int(raw)`` / ``float(raw)``
+surfaces a cryptic ``ValueError: invalid literal ...`` deep inside the
+engine; these helpers name the variable and the offending value so a
+typo in a deployment manifest fails loudly and legibly.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["EnvVarError", "env_int", "env_float"]
+
+
+class EnvVarError(ValueError):
+    """A numeric environment variable holds an unparseable value."""
+
+    def __init__(self, name: str, raw: str, expected: str) -> None:
+        self.name = name
+        self.raw = raw
+        super().__init__(
+            f"environment variable {name}={raw!r} is not {expected}"
+        )
+
+
+def env_int(name: str, default: int | None = None) -> int | None:
+    """Parse ``name`` as an integer, or return ``default`` when unset/blank.
+
+    Raises :class:`EnvVarError` (a ``ValueError``) naming the variable and
+    the bad value when the content does not parse.
+    """
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise EnvVarError(name, raw, "an integer") from None
+
+
+def env_float(name: str, default: float | None = None) -> float | None:
+    """Parse ``name`` as a float, or return ``default`` when unset/blank.
+
+    Raises :class:`EnvVarError` (a ``ValueError``) naming the variable and
+    the bad value when the content does not parse.
+    """
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise EnvVarError(name, raw, "a number") from None

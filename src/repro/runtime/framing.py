@@ -40,12 +40,12 @@ their efficient buffer reducers.
 
 from __future__ import annotations
 
-import os
 import pickle
 import struct
 import zlib
 from typing import Any
 
+from .envutil import env_int
 from .errors import SpmdError
 
 __all__ = [
@@ -111,15 +111,7 @@ def resolve_max_frame(max_frame: int | None = None) -> int:
     the ``REPRO_SPMD_TCP_MAX_FRAME`` environment variable, then
     :data:`DEFAULT_MAX_FRAME`."""
     if max_frame is None:
-        env = os.environ.get(MAX_FRAME_ENV)
-        if not env:
-            return DEFAULT_MAX_FRAME
-        try:
-            max_frame = int(env)
-        except ValueError:
-            raise ValueError(
-                f"{MAX_FRAME_ENV} must be a byte count, got {env!r}"
-            ) from None
+        max_frame = env_int(MAX_FRAME_ENV, DEFAULT_MAX_FRAME)
     if max_frame <= 0:
         raise ValueError(f"max_frame must be positive, got {max_frame}")
     return int(max_frame)

@@ -29,6 +29,7 @@ from .server import (
     BatchServer,
     Prediction,
     ServerConfig,
+    ServerStoppedError,
     ServingStats,
     serve,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "RegistryError",
     "ServableModel",
     "ServerConfig",
+    "ServerStoppedError",
     "ServingClient",
     "ServingClientError",
     "ServingStats",

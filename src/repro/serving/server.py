@@ -30,8 +30,16 @@ import numpy as np
 from ..runtime.framing import FrameAssembler, FrameError, encode_frame
 from .registry import ModelRegistry, ServableModel
 
-__all__ = ["BatchServer", "Prediction", "ServerConfig", "ServingStats",
-           "serve"]
+__all__ = ["BatchServer", "Prediction", "ServerConfig", "ServerStoppedError",
+           "ServingStats", "serve"]
+
+
+class ServerStoppedError(RuntimeError):
+    """The server stopped before this request could be scheduled.
+
+    Raised into the futures of requests still queued when
+    :meth:`BatchServer.stop` drains the queue — without it those
+    ``await predict(...)`` calls would block forever."""
 
 
 @dataclass(frozen=True)
@@ -123,7 +131,9 @@ class ServingStats:
         return float(np.mean([n for n, _ in self._batches]))
 
     def records_per_second(self) -> float:
-        """Kernel throughput over the recorded batches (records/sec)."""
+        """Kernel throughput (records/sec) over the bounded window of
+        recorded batches — the newest :data:`WINDOW` (65 536) batches,
+        i.e. recent traffic, not a lifetime total."""
         total_records = sum(n for n, _ in self._batches)
         total_seconds = sum(s for _, s in self._batches)
         if total_seconds <= 0:
@@ -211,12 +221,26 @@ class BatchServer:
         self._batcher = asyncio.ensure_future(self._run_batcher())
 
     async def stop(self) -> None:
-        """Drain in-flight batches, then shut the pool down."""
+        """Drain in-flight batches, then shut the pool down.
+
+        Requests still queued when the batcher exits — enqueued behind
+        the stop sentinel, or left behind when the batcher saw the
+        sentinel mid-accumulation — fail with
+        :class:`ServerStoppedError` instead of hanging forever.
+        """
         if not self.running:
             return
-        await self._queue.put(_STOP)
+        queue = self._queue
+        await queue.put(_STOP)
         await self._batcher
         self._batcher = None
+        while not queue.empty():
+            item = queue.get_nowait()
+            if item is _STOP or item.future.done():
+                continue
+            self.stats.n_errors += 1
+            item.future.set_exception(ServerStoppedError(
+                "server stopped before this request was scheduled"))
         if self._inflight:
             await asyncio.gather(*self._inflight, return_exceptions=True)
         self._pool.shutdown(wait=True)
@@ -236,6 +260,22 @@ class BatchServer:
                 f"rows must be one record or a 2-D batch, "
                 f"got shape {rows.shape}"
             )
+        # Validate the column width here, against the model the batch
+        # would answer from, so a malformed request fails alone instead
+        # of poisoning every co-batched request at the vstack.
+        source = self._source
+        try:
+            model = source if isinstance(source, ServableModel) \
+                else source.current()
+        except Exception:
+            model = None    # unresolvable registry: the batch surfaces it
+        if model is not None:
+            expected = len(model.compiled.schema)
+            if rows.shape[1] != expected:
+                raise ValueError(
+                    f"expected {expected} attribute columns, "
+                    f"got {rows.shape[1]}"
+                )
         future = asyncio.get_running_loop().create_future()
         await self._queue.put(_Request(rows, proba, future))
         return await future
@@ -252,10 +292,14 @@ class BatchServer:
     async def _run_batcher(self) -> None:
         queue = self._queue
         loop = asyncio.get_running_loop()
+        carry: _Request | None = None
         while True:
-            first = await queue.get()
-            if first is _STOP:
-                return
+            if carry is not None:
+                first, carry = carry, None
+            else:
+                first = await queue.get()
+                if first is _STOP:
+                    return
             batch = [first]
             n = len(first.rows)
             deadline = loop.time() + self.config.max_delay
@@ -270,6 +314,14 @@ class BatchServer:
                     break
                 if item is _STOP:
                     stopping = True
+                    break
+                if n + len(item.rows) > self.config.max_batch:
+                    # Admitting this request would overshoot the record
+                    # budget: flush what we have and carry it into the
+                    # next batch (a lone oversized request still runs,
+                    # alone, because the accumulation loop never starts
+                    # for it).
+                    carry = item
                     break
                 batch.append(item)
                 n += len(item.rows)

@@ -1,0 +1,38 @@
+"""Streaming (chunked-ingest) induction.
+
+Batch ScalParC assumes the whole training set is resident before the
+presort.  This package drops that assumption: records arrive in epoch
+chunks, each rank maintains mergeable per-(node, attribute) split
+sketches over what it has retained, and the level-synchronous loop
+becomes an epoch loop that grows the frontier as sketches accumulate
+mass — with every epoch boundary a sealed checkpoint cut.
+
+* :mod:`repro.streaming.sketch` — padded mergeable value/class-count
+  sketches and the :data:`SKETCH_MERGE` allreduce operator;
+* :mod:`repro.streaming.source` — record-order epoch chunking;
+* :mod:`repro.streaming.induction` — the epoch-loop SPMD worker
+  (:func:`stream_induce_worker`), batch-exact when sketches are
+  lossless and growth is finalize-only.
+"""
+
+from .induction import stream_induce_worker
+from .sketch import (
+    SKETCH_MERGE,
+    build_sketch,
+    empty_sketch,
+    merge_sketches,
+    sketch_entries,
+    sketch_identity_like,
+)
+from .source import ChunkSource
+
+__all__ = [
+    "ChunkSource",
+    "SKETCH_MERGE",
+    "build_sketch",
+    "empty_sketch",
+    "merge_sketches",
+    "sketch_entries",
+    "sketch_identity_like",
+    "stream_induce_worker",
+]

@@ -1,0 +1,796 @@
+"""Epoch-loop streaming induction (the chunked-ingest workload).
+
+Records arrive in per-epoch chunks instead of being presorted up front
+(pdsCART, arXiv:2505.11780; stream-split estimators, arXiv:2403.19867).
+Each rank retains the records it has ingested, routes every new chunk
+down the current tree to the *frontier* (the open leaves), and maintains
+one mergeable quantile sketch per (frontier node, attribute) — see
+:mod:`repro.streaming.sketch`.  The batch driver's level-synchronous
+loop becomes an epoch loop::
+
+    do while (records remain in the stream)
+        Stream.ingest   — route this epoch's chunk, update local sketches
+        Stream.sketch   — globalize sketches + class totals (one fused
+                          allreduce batch under the SKETCH_MERGE operator)
+        Stream.grow     — split frontier nodes whose sketches have seen
+                          enough mass; reopen closed leaves whose class
+                          distribution shifted
+        checkpoint cut  — every epoch boundary is a sealed resume point
+    end do
+    finalize            — grow the frontier to completion under the batch
+                          termination rules
+
+All tree-shaping state after the Stream.sketch reductions is global, so
+every rank builds an identical tree — exactly the batch driver's
+replication argument.  With ``stream_grow_records == 0`` (the default:
+growth only at finalize) and lossless sketches, the streamed tree is
+**bit-identical** to batch ScalParC's on the same record prefix; the
+differential suite pins this with ``structurally_equal``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import InductionConfig
+from ..core.criteria import best_categorical_split, impurity
+from ..core.kernels import split_scores
+from ..core.phases import STREAM_GROW, STREAM_INGEST, STREAM_SKETCH, \
+    timed_phase
+from ..core.splits import BEST_SPLIT, NO_CANDIDATE, candidate_beats, \
+    categorical_children_layout, encode_mask, pack_candidates
+from ..datagen.schema import Dataset, Schema
+from ..runtime import Communicator
+from ..runtime.checkpoint import (
+    CheckpointConfig,
+    CheckpointError,
+    LevelCheckpointer,
+    LoadedCheckpoint,
+    resolve_checkpoint,
+)
+from ..runtime.reduction import SUM
+from ..runtime.tracing import tag_level
+from ..runtime.tracing.events import payload_digest
+from ..tree.model import (
+    CategoricalSplit,
+    ContinuousSplit,
+    DecisionTree,
+    Leaf,
+    TreeNode,
+)
+from .sketch import SKETCH_MERGE, build_sketch, empty_sketch, \
+    merge_sketches, sketch_entries, sketch_from_entries
+from .source import ChunkSource
+
+__all__ = ["stream_induce_worker"]
+
+#: manifest tag identifying streaming-induction checkpoints
+_CKPT_ALGO = "scalparc-streaming"
+
+
+def _schema_fingerprint(schema: Schema) -> str:
+    return payload_digest([
+        int(schema.n_classes),
+        [(spec.name, bool(spec.is_continuous), int(spec.n_values))
+         for spec in schema],
+    ])
+
+
+def _config_fingerprint(config: InductionConfig) -> str:
+    """Digest of the knobs that shape a streamed tree.
+
+    Beyond the batch tree-shaping knobs, the streaming schedule itself
+    shapes the tree whenever growth is eager or sketches compress, so the
+    resolved chunk/sketch/grow/reopen knobs all join the digest — a
+    resume under different streaming settings must fail loudly.
+    """
+    return payload_digest([
+        config.max_depth, config.min_split_records,
+        float(config.min_improvement), config.criterion,
+        config.categorical_binary_subsets, config.subset_exhaustive_limit,
+        config.resolved_stream_chunk_records(),
+        config.resolved_sketch_size(),
+        config.resolved_stream_grow_records(),
+        float(config.resolved_stream_reopen_delta()),
+    ])
+
+
+# ----------------------------------------------------------------------
+# frontier registry
+# ----------------------------------------------------------------------
+# The tree under construction is always complete and valid: every
+# frontier position is materialized as a Leaf.  ``entries[fid]``
+# describes leaf fid (open = may still grow; closed = terminal unless a
+# distribution shift reopens it); retained records carry their fid in
+# ``node_of``.  Entries of nodes that have split keep their row (so fids
+# stay stable) with ``leaf=None``.
+
+
+def _new_entry(leaf: Leaf, parent: TreeNode | None, slot: int,
+               depth: int, open_: bool) -> dict:
+    return {"leaf": leaf, "parent": parent, "slot": slot, "depth": depth,
+            "open": open_, "closed_dist": None}
+
+
+def _attach(root_holder: list, entry: dict, node: TreeNode) -> None:
+    if entry["parent"] is None:
+        root_holder[0] = node
+    else:
+        entry["parent"].children[entry["slot"]] = node
+
+
+def _route_to_frontier(root: TreeNode, entries: list,
+                       columns: list, n: int) -> np.ndarray:
+    """fid of the frontier leaf each of the ``n`` records lands in."""
+    leaf_fid = {id(e["leaf"]): fid for fid, e in enumerate(entries)
+                if e["leaf"] is not None}
+    out = np.empty(n, dtype=np.int64)
+    stack: list[tuple[TreeNode, np.ndarray]] = [(root, np.arange(n))]
+    while stack:
+        node, pos = stack.pop()
+        if node.is_leaf:
+            out[pos] = leaf_fid[id(node)]
+            continue
+        child = node.route(columns[node.attr_index][pos])
+        for ci in range(len(node.children)):
+            sub = pos[child == ci]
+            if len(sub):
+                stack.append((node.children[ci], sub))
+    return out
+
+
+# ----------------------------------------------------------------------
+# collective state: globalize counts + sketches in one fused batch
+# ----------------------------------------------------------------------
+
+
+def _transport_capacity(n: int, full: int) -> int:
+    """Rows a node with *n* global records needs on the wire: the next
+    power of two covering ``n`` (bucketing keeps the number of distinct
+    stack shapes — hence fused reduces per round — logarithmic), clamped
+    to ``[8, full]``.  A node holds at most ``n`` distinct values per
+    attribute, so trimming the padded sketch to this bound is lossless.
+    """
+    cap = 8
+    while cap < min(max(n, 1), full):
+        cap <<= 1
+    return min(cap, full)
+
+
+def _globalize(comm: Communicator, entries: list, local_counts: list,
+               sketches: dict, n_attrs: int, capacity: int,
+               with_sketches: bool = True, tight: bool = True):
+    """One fused rendezvous globalizing the whole frontier: per-entry
+    class totals (SUM) and every open (node, attribute) sketch
+    (SKETCH_MERGE).  Returns ``(global_counts, global_sketches)``.
+
+    ``with_sketches=False`` reduces only the class totals — the cheap
+    epoch heartbeat when no growth can happen this round (finalize-only
+    mode mid-stream), where shipping frontier sketches would buy nothing.
+
+    ``tight=True`` trims each open node's sketch stack to its
+    :func:`_transport_capacity` before the reduce — ``leaf.n_records``
+    is a *global* total (set from prior reductions) so every rank
+    derives the same grouping, and deep frontier nodes (few records,
+    mostly-NaN padding) stop paying full-capacity freight.  Callers must
+    pass ``tight=False`` when records were ingested since the counts
+    were last refreshed (the first round of a mid-stream grow pass):
+    a stale bound could force compression the full capacity would not.
+    """
+    open_fids = [fid for fid, e in enumerate(entries) if e["open"]]
+    counts_stack = np.stack(local_counts)
+    groups: dict[int, list[int]] = {}
+    if with_sketches and open_fids:
+        for fid in open_fids:
+            cap = _transport_capacity(entries[fid]["leaf"].n_records,
+                                      capacity) if tight else capacity
+            groups.setdefault(cap, []).append(fid)
+    with comm.fused() as batch:
+        fut_counts = batch.allreduce(counts_stack, SUM)
+        fut_groups = []
+        for cap in sorted(groups):
+            fids = groups[cap]
+            sk_stack = np.stack([sketches[fid][a][:cap]
+                                 for fid in fids
+                                 for a in range(n_attrs)])
+            fut_groups.append((fids, batch.allreduce(sk_stack, SKETCH_MERGE)))
+    g_counts = fut_counts.result()
+    g_sk: dict[int, list[np.ndarray]] = {}
+    for fids, fut in fut_groups:
+        stack = fut.result()
+        for j, fid in enumerate(fids):
+            g_sk[fid] = [stack[j * n_attrs + a] for a in range(n_attrs)]
+    return g_counts, g_sk
+
+
+# ----------------------------------------------------------------------
+# split scoring from global sketches (batch-exact semantics)
+# ----------------------------------------------------------------------
+
+
+def _best_from_sketches(node_sketches: list, totals: np.ndarray,
+                        schema: Schema, config: InductionConfig):
+    """Best candidate split of one node, scored from its global sketches.
+
+    Reproduces the batch FindSplit semantics exactly when the sketches
+    are lossless: continuous candidates are the distinct values with a
+    strictly smaller predecessor, the threshold is the value itself, the
+    left partition counts everything strictly below it; candidates are
+    ordered by the canonical (score, attribute, threshold) key.
+    Returns ``(candidate_row, categorical_state)``.
+    """
+    best = np.array(NO_CANDIDATE, dtype=np.float64)
+    best_cat: tuple[np.ndarray, np.ndarray | None] | None = None
+    totals_f = totals.astype(np.float64)
+    for attr, spec in enumerate(schema):
+        rows = sketch_entries(node_sketches[attr])
+        if spec.is_continuous:
+            if len(rows) < 2:
+                continue
+            left = np.cumsum(rows[:, 1:], axis=0)[:-1]
+            thr = rows[1:, 0]
+            scores = split_scores(left, totals_f, config.criterion)
+            smin = scores.min()
+            tie = np.flatnonzero(scores == smin)
+            j = tie[np.argmin(thr[tie])]
+            cand = np.array([scores[j], float(attr), thr[j]])
+            cat = None
+        else:
+            matrix = np.zeros((spec.n_values, len(totals)), dtype=np.int64)
+            codes = np.rint(rows[:, 0]).astype(np.int64)
+            matrix[codes] = np.rint(rows[:, 1:]).astype(np.int64)
+            score, mask = best_categorical_split(
+                matrix, config.criterion,
+                binary_subsets=config.categorical_binary_subsets,
+                exhaustive_limit=config.subset_exhaustive_limit,
+            )
+            third = encode_mask(mask) if mask is not None else 0.0
+            cand = np.array([score, float(attr), third])
+            cat = (matrix, mask)
+        if not np.isfinite(cand[0]):
+            continue
+        if candidate_beats(cand, best):
+            best = cand
+            best_cat = cat
+    return best, best_cat
+
+
+# ----------------------------------------------------------------------
+# frontier mutation
+# ----------------------------------------------------------------------
+
+
+def _terminal(depth: int, totals: np.ndarray, config: InductionConfig) -> bool:
+    """The batch termination rules: purity, minimum mass, depth cap."""
+    n = int(totals.sum())
+    return (
+        int(totals.max()) == n
+        or n < config.min_split_records
+        or (config.max_depth is not None and depth >= config.max_depth)
+    )
+
+
+def _decode_candidate(best: np.ndarray, node_sketches: list,
+                      n_classes: int, schema: Schema,
+                      config: InductionConfig):
+    """Rebuild a winning candidate's categorical state on any rank.
+
+    Split scoring is partitioned across ranks and shared as packed
+    ``[score, attr, third]`` rows, so the non-scoring ranks reconstruct
+    the ``(matrix, mask)`` pair a categorical split needs: the count
+    matrix derives from the global sketch, and the third slot carries
+    the :func:`~repro.core.splits.encode_mask` subset code (0.0 for the
+    multiway split).  Returns ``None`` for continuous attributes.
+    """
+    attr = int(best[1])
+    spec = schema[attr]
+    if spec.is_continuous:
+        return None
+    rows = sketch_entries(node_sketches[attr])
+    matrix = np.zeros((spec.n_values, n_classes), dtype=np.int64)
+    codes = np.rint(rows[:, 0]).astype(np.int64)
+    matrix[codes] = np.rint(rows[:, 1:]).astype(np.int64)
+    if not config.categorical_binary_subsets or best[2] == 0.0:
+        mask = None
+    else:
+        bits = int(best[2])
+        mask = np.array([(bits >> i) & 1 for i in range(spec.n_values)],
+                        dtype=bool)
+    return matrix, mask
+
+
+def _close_leaf(entry: dict, totals: np.ndarray) -> None:
+    leaf = entry["leaf"]
+    n = int(totals.sum())
+    if n > 0:
+        leaf.label = int(np.argmax(totals))
+        entry["closed_dist"] = totals.astype(np.float64) / n
+    leaf.n_records = n
+    leaf.class_counts = totals.astype(np.int64)
+    entry["open"] = False
+
+
+def _child_sketches(state: "_StreamState", idx: np.ndarray,
+                    child_of: np.ndarray, n_children: int,
+                    wanted: list) -> list:
+    """Local sketches for the surviving children of one split.
+
+    Equivalent to :func:`~repro.streaming.sketch.build_sketch` per
+    (child, attribute) pair, but grouped into one lexsort/reduceat pass
+    per attribute — a deep finalize round splits hundreds of nodes, so
+    per-child ``np.unique`` calls would dominate the whole pass.
+    """
+    labels = state.labels[idx]
+    cap = state.capacity
+    out: list = [[None] * state.n_attrs if w else None for w in wanted]
+    for a in range(state.n_attrs):
+        vals = state.columns[a][idx].astype(np.float64, copy=False)
+        if len(vals):
+            order = np.lexsort((vals, child_of))
+            c_s, v_s, l_s = child_of[order], vals[order], labels[order]
+            new = np.concatenate([
+                [True], (c_s[1:] != c_s[:-1]) | (v_s[1:] != v_s[:-1])])
+            gid = np.cumsum(new) - 1
+            counts = np.zeros((int(gid[-1]) + 1, state.n_classes),
+                              dtype=np.float64)
+            np.add.at(counts, (gid, l_s), 1.0)
+            starts = np.flatnonzero(new)
+            uvals, uchild = v_s[starts], c_s[starts]
+        else:
+            uvals = np.empty(0, dtype=np.float64)
+            uchild = np.empty(0, dtype=np.int64)
+            counts = np.empty((0, state.n_classes), dtype=np.float64)
+        for ci in range(n_children):
+            if not wanted[ci]:
+                continue
+            sel = uchild == ci
+            entries = np.concatenate([uvals[sel][:, None], counts[sel]],
+                                     axis=1)
+            out[ci][a] = sketch_from_entries(entries, cap)
+    return out
+
+
+def _split_entry(fid: int, best: np.ndarray, best_cat, totals: np.ndarray,
+                 node_sketches: list, state: "_StreamState",
+                 config: InductionConfig, finalize: bool) -> None:
+    """Replace leaf ``fid`` with a split node; re-route its retained
+    records; register its children as new frontier leaves with sketches
+    rebuilt from the exact retained data.
+
+    During finalize the child totals are final, so a child the batch
+    rules would close next round (pure, under-mass, at the depth cap)
+    closes *now* — identical labels and reopen state, but it never pays
+    sketch construction or transport."""
+    entry = state.entries[fid]
+    attr = int(best[1])
+    spec = state.schema[attr]
+    depth = entry["depth"]
+    n = int(totals.sum())
+    if spec.is_continuous:
+        thr = float(best[2])
+        rows = sketch_entries(node_sketches[attr])
+        below = rows[:, 0] < thr
+        left = np.rint(rows[below, 1:].sum(axis=0)).astype(np.int64)
+        child_counts = [left, totals.astype(np.int64) - left]
+        node: TreeNode = ContinuousSplit(
+            attr_index=attr, threshold=thr, n_records=n,
+            class_counts=totals.astype(np.int64), depth=depth,
+            children=[None, None],
+        )
+        n_children = 2
+    else:
+        matrix, mask = best_cat
+        v2c, n_children, default = categorical_children_layout(matrix, mask)
+        child_counts = [
+            matrix[v2c == ci].sum(axis=0).astype(np.int64)
+            for ci in range(n_children)
+        ]
+        node = CategoricalSplit(
+            attr_index=attr, value_to_child=v2c, n_records=n,
+            class_counts=totals.astype(np.int64), depth=depth,
+            children=[None] * n_children, default_child=default,
+        )
+    _attach(state.root_holder, entry, node)
+    entry["leaf"] = None
+    entry["open"] = False
+    entry["closed_dist"] = None
+    state.sketches.pop(fid, None)
+
+    idx = np.flatnonzero(state.node_of == fid)
+    child_of = node.route(state.columns[attr][idx]) if len(idx) \
+        else np.empty(0, dtype=np.int64)
+    base = len(state.entries)
+    state.node_of[idx] = base + child_of
+    parent_counts = totals
+    wanted: list[bool] = []
+    local_cc = np.zeros((n_children, state.n_classes), dtype=np.int64)
+    np.add.at(local_cc, (child_of, state.labels[idx]), 1)
+    for ci in range(n_children):
+        cc = child_counts[ci]
+        cn = int(cc.sum())
+        empty = cn == 0
+        label = int(np.argmax(parent_counts)) if empty else int(np.argmax(cc))
+        leaf = Leaf(label=label, n_records=cn,
+                    class_counts=cc.copy(), depth=depth + 1)
+        node.children[ci] = leaf
+        # an empty child (possible only with lossy sketches) closes
+        # immediately, inheriting the parent majority like the batch
+        # path; a finalize child the termination rules would close next
+        # round closes now, with the same label and reopen distribution
+        closed_now = empty or (finalize and _terminal(depth + 1, cc, config))
+        state.entries.append(
+            _new_entry(leaf, node, ci, depth + 1, open_=not closed_now))
+        if closed_now and not empty:
+            state.entries[-1]["closed_dist"] = cc.astype(np.float64) / cn
+        state.local_counts.append(local_cc[ci].copy())
+        wanted.append(not closed_now)
+    if any(wanted):
+        sketches = _child_sketches(state, idx, child_of, n_children, wanted)
+        for ci in range(n_children):
+            if wanted[ci]:
+                state.sketches[base + ci] = sketches[ci]
+
+
+class _StreamState:
+    """One rank's streaming-fit state (retained records + frontier)."""
+
+    def __init__(self, schema: Schema, capacity: int):
+        self.schema = schema
+        self.n_attrs = len(schema)
+        self.n_classes = schema.n_classes
+        self.capacity = capacity
+        root_leaf = Leaf(label=0, n_records=0,
+                         class_counts=np.zeros(self.n_classes,
+                                               dtype=np.int64), depth=0)
+        self.root_holder: list[TreeNode] = [root_leaf]
+        self.entries: list[dict] = [_new_entry(root_leaf, None, 0, 0, True)]
+        self.local_counts: list[np.ndarray] = [
+            np.zeros(self.n_classes, dtype=np.int64)]
+        self.columns: list[np.ndarray] = [
+            np.empty(0, dtype=(np.float64 if spec.is_continuous
+                               else np.int32))
+            for spec in schema
+        ]
+        self.labels: np.ndarray = np.empty(0, dtype=np.int64)
+        self.node_of: np.ndarray = np.empty(0, dtype=np.int64)
+        self.sketches: dict[int, list[np.ndarray]] = {
+            0: [empty_sketch(capacity, self.n_classes)
+                for _ in range(self.n_attrs)]
+        }
+
+    def rebuild_sketches(self) -> None:
+        """Deterministically rebuild every open node's local sketches
+        from the retained records (resume, reopen)."""
+        self.sketches = {}
+        for fid, entry in enumerate(self.entries):
+            if not entry["open"]:
+                continue
+            idx = np.flatnonzero(self.node_of == fid)
+            self.sketches[fid] = [
+                build_sketch(self.columns[a][idx], self.labels[idx],
+                             self.n_classes, self.capacity)
+                for a in range(self.n_attrs)
+            ]
+
+    def ingest(self, block: Dataset) -> None:
+        """Route one epoch block into the frontier, extending the
+        retained set, per-entry local counts and open-node sketches."""
+        n_new = block.n_records
+        if n_new == 0:
+            return
+        fids = _route_to_frontier(self.root_holder[0], self.entries,
+                                  block.columns, n_new)
+        labels = block.labels.astype(np.int64)
+        add = np.zeros((len(self.entries), self.n_classes), dtype=np.int64)
+        np.add.at(add, (fids, labels), 1)
+        for fid in np.flatnonzero(add.sum(axis=1)):
+            self.local_counts[fid] = self.local_counts[fid] + add[fid]
+        for fid in np.unique(fids):
+            fid = int(fid)
+            if fid not in self.sketches:
+                continue        # closed leaf: rebuilt on reopen
+            sel = fids == fid
+            self.sketches[fid] = [
+                merge_sketches(
+                    self.sketches[fid][a],
+                    build_sketch(block.columns[a][sel], labels[sel],
+                                 self.n_classes, self.capacity))
+                for a in range(self.n_attrs)
+            ]
+        base = len(self.labels)
+        for a in range(self.n_attrs):
+            self.columns[a] = np.concatenate(
+                [self.columns[a], block.columns[a]])
+        self.labels = np.concatenate([self.labels, labels])
+        self.node_of = np.concatenate([self.node_of, fids])
+        assert len(self.node_of) == base + n_new
+
+
+def _refresh_frontier(state: _StreamState, g_counts: np.ndarray,
+                      reopen_delta: float) -> None:
+    """Sync leaf labels/counts with the fresh global totals; reopen
+    closed leaves whose class distribution drifted past the threshold."""
+    for fid, entry in enumerate(state.entries):
+        leaf = entry["leaf"]
+        if leaf is None:
+            continue
+        totals = g_counts[fid]
+        n = int(totals.sum())
+        if entry["open"]:
+            if n > 0:
+                leaf.label = int(np.argmax(totals))
+            leaf.n_records = n
+            leaf.class_counts = totals.astype(np.int64)
+        elif entry["closed_dist"] is not None and n > 0:
+            dist = totals.astype(np.float64) / n
+            shift = 0.5 * float(np.abs(dist - entry["closed_dist"]).sum())
+            if shift > reopen_delta:
+                entry["open"] = True
+                entry["closed_dist"] = None
+                leaf.label = int(np.argmax(totals))
+                leaf.n_records = n
+                leaf.class_counts = totals.astype(np.int64)
+                idx = np.flatnonzero(state.node_of == fid)
+                state.sketches[fid] = [
+                    build_sketch(state.columns[a][idx], state.labels[idx],
+                                 state.n_classes, state.capacity)
+                    for a in range(state.n_attrs)
+                ]
+
+
+def _grow_rounds(comm: Communicator, state: _StreamState,
+                 config: InductionConfig, *, finalize: bool,
+                 grow_threshold: int, reopen_delta: float) -> None:
+    """Globalize, then split every qualifying frontier node; repeat on
+    the fresh children until a round makes no split.
+
+    ``finalize`` applies the batch termination rules (purity, minimum
+    records, depth cap, minimum improvement) and closes failing nodes —
+    a finalize run is exactly the batch level loop replayed over the
+    sketches.  Mid-stream (``finalize=False``) only nodes whose global
+    mass reached ``grow_threshold`` are examined, and a node that fails
+    stays open for future chunks.
+    """
+    growing = finalize or grow_threshold > 0
+    # at finalize every leaf's global count is current (the last epoch
+    # heartbeat refreshed it); mid-stream the first round follows an
+    # ingest, so its counts are stale and the transport stays untrimmed
+    tight = finalize
+    while True:
+        with timed_phase(comm, STREAM_SKETCH):
+            g_counts, g_sk = _globalize(
+                comm, state.entries, state.local_counts, state.sketches,
+                state.n_attrs, state.capacity, with_sketches=growing,
+                tight=tight)
+        tight = True    # refresh below re-syncs every count; no ingest
+        with timed_phase(comm, STREAM_GROW):
+            _refresh_frontier(state, g_counts, reopen_delta)
+            if not growing:
+                # finalize-only growth: the epoch heartbeat reduces just
+                # the class totals (leaf refresh + reopen checks); the
+                # frontier sketches stay local until end of stream
+                return
+            to_score: list[int] = []
+            for fid in [f for f, e in enumerate(state.entries) if e["open"]]:
+                entry = state.entries[fid]
+                if fid not in g_sk:
+                    continue        # reopened this round: sketch next round
+                totals = g_counts[fid]
+                n = int(totals.sum())
+                if not finalize and n < max(grow_threshold,
+                                            config.min_split_records):
+                    continue
+                if _terminal(entry["depth"], totals, config):
+                    _close_leaf(entry, totals)
+                else:
+                    to_score.append(fid)
+            if not to_score:
+                return
+            # scoring reads only globalized state, so each rank scores a
+            # round-robin share of the frontier and one BEST_SPLIT
+            # allreduce shares the winners — replicating the scoring
+            # loop on every rank would serialize it p times over
+            cand = pack_candidates(len(to_score))
+            for j, fid in enumerate(to_score):
+                if j % comm.size == comm.rank:
+                    cand[j], _ = _best_from_sketches(
+                        g_sk[fid], g_counts[fid], state.schema, config)
+            cand = comm.allreduce(cand, BEST_SPLIT)
+            did_split = False
+            for j, fid in enumerate(to_score):
+                entry = state.entries[fid]
+                totals = g_counts[fid]
+                best = cand[j]
+                parent_imp = float(impurity(totals.astype(np.float64),
+                                            config.criterion))
+                ok = bool(np.isfinite(best[0])) and \
+                    parent_imp - float(best[0]) >= config.min_improvement
+                if ok:
+                    best_cat = _decode_candidate(
+                        best, g_sk[fid], state.n_classes, state.schema,
+                        config)
+                    _split_entry(fid, best, best_cat, totals, g_sk[fid],
+                                 state, config, finalize)
+                    did_split = True
+                elif finalize:
+                    _close_leaf(entry, totals)
+            if not did_split:
+                return
+
+
+# ----------------------------------------------------------------------
+# checkpointing
+# ----------------------------------------------------------------------
+
+
+def _save_cut(comm: Communicator, ckpt: LevelCheckpointer, epoch: int,
+              state: _StreamState, cursor: int, n_seen: int,
+              config: InductionConfig) -> None:
+    from ..core.induction import _rank_extras
+
+    rank_payload = {
+        "columns": [col.copy() for col in state.columns],
+        "labels": state.labels.copy(),
+        "node_of": state.node_of.copy(),
+        "local_counts": [c.copy() for c in state.local_counts],
+        **_rank_extras(comm),
+    }
+    shared_payload = {
+        "algo": _CKPT_ALGO,
+        "schema": _schema_fingerprint(state.schema),
+        "config": _config_fingerprint(config),
+        "tree": (state.root_holder[0], state.entries),
+        "cursor": int(cursor),
+        "n_seen": int(n_seen),
+    }
+    ckpt.save(comm, epoch, rank_payload, shared_payload,
+              meta={"algo": _CKPT_ALGO, "epoch": epoch,
+                    "cursor": int(cursor), "n_seen": int(n_seen)})
+
+
+def _resume_cut(comm: Communicator, source: str, schema: Schema,
+                config: InductionConfig, capacity: int):
+    """Reload a streaming cut: ``(state, epoch, cursor, n_seen)``.
+
+    Works on the original world size or any other — retained records are
+    re-blocked contiguously in old-rank order, and sketches are rebuilt
+    deterministically from the exact retained data either way.
+    """
+    from ..core.induction import _restore_rank_extras
+
+    loaded = LoadedCheckpoint.open(source)
+    shared = loaded.shared_payload()
+    if shared.get("algo") != _CKPT_ALGO:
+        raise CheckpointError(
+            f"checkpoint {loaded.manifest_path!r} was not written by the "
+            f"streaming driver (algo={shared.get('algo')!r})"
+        )
+    if shared["schema"] != _schema_fingerprint(schema):
+        raise CheckpointError(
+            "checkpoint schema does not match the stream's; resume needs "
+            "the same record schema"
+        )
+    if shared["config"] != _config_fingerprint(config):
+        raise CheckpointError(
+            "checkpoint was written under different streaming settings; "
+            "resume with the original InductionConfig"
+        )
+
+    state = _StreamState(schema, capacity)
+    root, entries = shared["tree"]
+    state.root_holder[0] = root
+    state.entries = entries
+
+    payloads = loaded.all_rank_payloads()
+    if loaded.n_ranks == comm.size:
+        mine = payloads[comm.rank]
+        state.columns = [np.asarray(col) for col in mine["columns"]]
+        state.labels = np.asarray(mine["labels"])
+        state.node_of = np.asarray(mine["node_of"])
+        state.local_counts = [np.asarray(c) for c in mine["local_counts"]]
+        _restore_rank_extras(comm, mine)
+    else:
+        all_labels = np.concatenate([p["labels"] for p in payloads])
+        all_node_of = np.concatenate([p["node_of"] for p in payloads])
+        n_ret = len(all_labels)
+        blk = -(-n_ret // comm.size) if n_ret else 0
+        lo = min(comm.rank * blk, n_ret)
+        hi = min((comm.rank + 1) * blk, n_ret)
+        state.columns = [
+            np.concatenate([p["columns"][a] for p in payloads])[lo:hi]
+            for a in range(state.n_attrs)
+        ]
+        state.labels = all_labels[lo:hi]
+        state.node_of = all_node_of[lo:hi]
+        counts = np.zeros((len(entries), state.n_classes), dtype=np.int64)
+        if hi > lo:
+            np.add.at(counts, (state.node_of, state.labels), 1)
+        state.local_counts = [counts[fid] for fid in range(len(entries))]
+    state.rebuild_sketches()
+    return state, loaded.level, int(shared["cursor"]), int(shared["n_seen"])
+
+
+# ----------------------------------------------------------------------
+# the SPMD worker
+# ----------------------------------------------------------------------
+
+
+def stream_induce_worker(
+    comm: Communicator,
+    dataset: Dataset,
+    config: InductionConfig | None = None,
+    checkpoint: CheckpointConfig | str | None = None,
+    max_epochs: int | None = None,
+    finalize: bool = True,
+    fresh_cursor: bool = False,
+) -> DecisionTree:
+    """SPMD worker: induce a tree from ``dataset`` consumed as a stream.
+
+    ``max_epochs`` caps how many chunks this call ingests (a capped call
+    skips finalize growth — the tree stays a refinable frontier for the
+    next resume).  ``finalize=False`` likewise leaves the frontier open
+    (the ``partial_fit`` mode).  ``fresh_cursor=True`` treats ``dataset``
+    as a brand-new stream segment appended to a resumed tree (cursor
+    restarts at 0) instead of a continuation of the checkpointed stream.
+    """
+    config = config or InductionConfig()
+    if dataset.n_records == 0:
+        raise ValueError("cannot stream-induce a tree from an empty dataset")
+    if len(dataset.schema) == 0:
+        raise ValueError("dataset has no attributes")
+    schema = dataset.schema
+    chunk_records = config.resolved_stream_chunk_records()
+    capacity = config.resolved_sketch_size()
+    grow_threshold = config.resolved_stream_grow_records()
+    reopen_delta = config.resolved_stream_reopen_delta()
+
+    ckpt_cfg = resolve_checkpoint(checkpoint)
+    ckpt = LevelCheckpointer(ckpt_cfg) if ckpt_cfg is not None else None
+    resume_src = ckpt_cfg.resume_source() if ckpt_cfg is not None else None
+
+    if resume_src is not None:
+        state, epoch, cursor, n_seen = _resume_cut(
+            comm, resume_src, schema, config, capacity)
+        if fresh_cursor:
+            cursor = 0
+    else:
+        state = _StreamState(schema, capacity)
+        epoch, cursor, n_seen = 0, 0, 0
+
+    source = ChunkSource(dataset, chunk_records)
+    epochs_run = 0
+    last_saved_epoch = epoch if resume_src is not None else None
+    while cursor < source.n_records and (
+            max_epochs is None or epochs_run < max_epochs):
+        tag_level(comm, epoch)
+        block = source.rank_block(cursor, comm.rank, comm.size)
+        with timed_phase(comm, STREAM_INGEST):
+            state.ingest(block)
+        hi = min(cursor + chunk_records, source.n_records)
+        n_seen += hi - cursor
+        cursor = hi
+        _grow_rounds(comm, state, config, finalize=False,
+                     grow_threshold=grow_threshold,
+                     reopen_delta=reopen_delta)
+        epoch += 1
+        epochs_run += 1
+        comm.perf.mark_level(epoch - 1)
+        if ckpt is not None and ckpt.should_save(epoch - 1):
+            _save_cut(comm, ckpt, epoch, state, cursor, n_seen, config)
+            last_saved_epoch = epoch
+
+    finalized = False
+    if finalize and cursor >= source.n_records:
+        tag_level(comm, epoch)
+        _grow_rounds(comm, state, config, finalize=True,
+                     grow_threshold=grow_threshold,
+                     reopen_delta=reopen_delta)
+        finalized = True
+
+    if ckpt is not None:
+        if finalized or last_saved_epoch != epoch:
+            # off-cadence tail epoch (or a finalized frontier): cut it
+            # anyway so no ingested work is ever lost
+            _save_cut(comm, ckpt, epoch, state, cursor, n_seen, config)
+        ckpt.finalize(comm)
+    return DecisionTree(schema=schema, root=state.root_holder[0])

@@ -31,6 +31,7 @@ from repro.serving import (
     ModelRegistry,
     RegistryError,
     ServerConfig,
+    ServerStoppedError,
     ServingClient,
     serve,
 )
@@ -529,3 +530,101 @@ def test_cli_train_publish_serve_query_round_trip(tmp_path):
         if server.poll() is None:
             server.kill()
             server.communicate()
+
+
+# ----------------------------------------------------------------------
+# regressions: stop-drain, width validation, batch budget
+# ----------------------------------------------------------------------
+
+
+def test_stop_fails_requests_left_in_queue(tmp_path, trees):
+    """Requests enqueued behind the stop sentinel must fail with the
+    typed ServerStoppedError instead of awaiting a batcher that already
+    exited (the old behaviour hung those callers forever)."""
+    t1, _, test = trees
+    reg = ModelRegistry(tmp_path)
+    reg.publish(t1, activate=True)
+    rows = test.features_matrix()[:4]
+
+    async def scenario():
+        server = BatchServer(reg, ServerConfig(max_delay=5.0,
+                                               max_batch=1 << 20))
+        await server.start()
+        # the batcher picks this up and sits in its accumulation window
+        in_flight = asyncio.ensure_future(server.predict(rows))
+        await asyncio.sleep(0.05)
+        stopper = asyncio.ensure_future(server.stop())
+        await asyncio.sleep(0)          # stop() has queued its sentinel
+        stranded = asyncio.ensure_future(server.predict(rows))
+        await asyncio.sleep(0)          # request lands behind the sentinel
+        await stopper
+        first = await in_flight         # flushed batch still answers
+        with pytest.raises(ServerStoppedError):
+            await stranded
+        return first, server.stats
+
+    first, stats = asyncio.run(scenario())
+    np.testing.assert_array_equal(
+        first.labels, predict_columns(trees[0], trees[2].columns)[:4])
+    assert stats.n_errors == 1
+
+
+def test_mismatched_width_fails_alone_not_the_batch(tmp_path, trees):
+    """A request with the wrong column count is rejected at enqueue time;
+    the well-formed request sharing its flush window is unharmed (the old
+    behaviour poisoned every co-batched future at the vstack)."""
+    t1, _, test = trees
+    reg = ModelRegistry(tmp_path)
+    reg.publish(t1, activate=True)
+    rows = test.features_matrix()
+    wide = np.zeros((3, rows.shape[1] + 2))
+
+    async def scenario():
+        server = BatchServer(reg, ServerConfig(max_delay=0.05,
+                                               max_batch=4096))
+        await server.start()
+        try:
+            good = asyncio.ensure_future(server.predict(rows))
+            with pytest.raises(ValueError, match="attribute columns"):
+                await server.predict(wide)
+            result = await good
+        finally:
+            await server.stop()
+        return result, server.stats
+
+    result, stats = asyncio.run(scenario())
+    np.testing.assert_array_equal(
+        result.labels, predict_columns(t1, test.columns))
+    assert stats.n_errors == 0          # rejection never reached a batch
+
+
+def test_batcher_never_exceeds_max_batch(tmp_path, trees):
+    """The accumulator flushes *before* admitting a request that would
+    overshoot the record budget (the old order appended first, so every
+    full batch ran over); a lone oversized request still runs, alone."""
+    t1, _, test = trees
+    reg = ModelRegistry(tmp_path)
+    reg.publish(t1, activate=True)
+    rows = test.features_matrix()
+
+    async def scenario():
+        server = BatchServer(reg, ServerConfig(max_batch=8, max_delay=0.2))
+        await server.start()
+        try:
+            burst = await asyncio.gather(*[
+                server.predict(rows[3 * i:3 * i + 3]) for i in range(10)
+            ])
+            sizes = [n for n, _ in server.stats._batches]
+            oversized = await server.predict(rows[:20])
+        finally:
+            await server.stop()
+        return burst, sizes, oversized, server.stats
+
+    burst, sizes, oversized, stats = asyncio.run(scenario())
+    assert sizes and max(sizes) <= 8    # the regression pin
+    for i, result in enumerate(burst):
+        np.testing.assert_array_equal(
+            result.labels,
+            predict_columns(t1, test.columns)[3 * i:3 * i + 3])
+    assert len(oversized.labels) == 20  # oversized request ran alone
+    assert stats.n_errors == 0

@@ -1,0 +1,287 @@
+"""Streaming (chunked-ingest) induction: sketches, equivalence, resume.
+
+The load-bearing oracle: with finalize-only growth and lossless sketches
+(every (node, attribute) pair's distinct values fit the sketch capacity),
+a streamed fit is **bit-identical** to batch ScalParC on the same
+records — any chunking, any world size, any backend.  On top of that:
+epoch cuts resume exactly (mid-stream kill → identical continuation,
+including on a different world size), ``partial_fit`` folds segments
+into one tree, and lossy sketches degrade gracefully.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import InductionConfig, ScalParC
+from repro.core.config import SKETCH_SIZE_ENV, STREAM_CHUNK_ENV
+from repro.datagen import paper_dataset
+from repro.runtime import CheckpointConfig
+from repro.streaming import (
+    ChunkSource,
+    build_sketch,
+    empty_sketch,
+    merge_sketches,
+    sketch_entries,
+)
+
+from tests.conftest import assert_trees_equal
+
+#: lossless streaming config: generous sketch capacity, growth only at
+#: finalize — the settings under which streamed == batch, bit for bit
+LOSSLESS = dict(max_depth=6, sketch_size=8192, stream_grow_records=0)
+
+
+def _stream_cfg(**over) -> InductionConfig:
+    merged = {**LOSSLESS, "stream_chunk_records": 300, **over}
+    return InductionConfig(**merged)
+
+
+# ----------------------------------------------------------------------
+# sketch unit behaviour
+# ----------------------------------------------------------------------
+
+
+def test_sketch_build_is_lossless_within_capacity(rng):
+    values = rng.choice(np.linspace(0.0, 1.0, 40), size=500)
+    labels = rng.integers(0, 3, size=500)
+    sk = build_sketch(values, labels, n_classes=3, capacity=64)
+    rows = sketch_entries(sk)
+    assert np.array_equal(rows[:, 0], np.unique(values))
+    for j, v in enumerate(rows[:, 0]):
+        expect = np.bincount(labels[values == v], minlength=3)
+        assert np.array_equal(rows[j, 1:], expect)
+
+
+def test_sketch_merge_matches_pooled_build(rng):
+    va, vb = rng.normal(size=300), rng.normal(size=200)
+    la, lb = rng.integers(0, 2, 300), rng.integers(0, 2, 200)
+    merged = merge_sketches(build_sketch(va, la, 2, 1024),
+                            build_sketch(vb, lb, 2, 1024))
+    pooled = build_sketch(np.concatenate([va, vb]),
+                          np.concatenate([la, lb]), 2, 1024)
+    assert np.array_equal(sketch_entries(merged), sketch_entries(pooled))
+
+
+def test_sketch_compression_preserves_totals_and_order(rng):
+    values = rng.normal(size=2000)
+    labels = rng.integers(0, 4, size=2000)
+    sk = build_sketch(values, labels, n_classes=4, capacity=32)
+    rows = sketch_entries(sk)
+    assert len(rows) <= 32
+    assert np.all(np.diff(rows[:, 0]) > 0)              # sorted, distinct
+    assert np.array_equal(rows[:, 1:].sum(axis=0),
+                          np.bincount(labels, minlength=4))
+
+
+def test_empty_sketch_merges_as_identity():
+    sk = build_sketch(np.array([1.0, 2.0]), np.array([0, 1]), 2, 16)
+    out = merge_sketches(sk, empty_sketch(16, 2))
+    assert np.array_equal(sketch_entries(out), sketch_entries(sk))
+
+
+def test_chunk_source_partitions_in_record_order():
+    ds = paper_dataset(1000, "F2", seed=1)
+    src = ChunkSource(ds, 300)
+    assert src.n_epochs() == 4
+    assert src.n_epochs(offset=600) == 2
+    sizes = [src.chunk(off).n_records for off in (0, 300, 600, 900)]
+    assert sizes == [300, 300, 300, 100]
+    np.testing.assert_array_equal(src.chunk(300).labels, ds.labels[300:600])
+
+
+# ----------------------------------------------------------------------
+# differential: streaming vs batch on the same records
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("function", ["F2", "F5"])
+def test_lossless_stream_matches_batch_exactly(function):
+    ds = paper_dataset(2000, function, seed=7)
+    batch = ScalParC(4, InductionConfig(max_depth=6), machine=None).fit(ds)
+    stream = ScalParC(4, _stream_cfg(), machine=None).fit_stream(ds)
+    assert_trees_equal(batch.tree.root, stream.tree.root,
+                       f"streaming vs batch on {function}")
+
+
+@pytest.mark.parametrize("chunk", [150, 512, 5000])
+def test_tree_is_invariant_to_chunking(chunk):
+    """Finalize-only growth makes the epoch boundaries invisible: any
+    chunk size (including one bigger than the stream) gives one tree."""
+    ds = paper_dataset(1500, "F5", seed=3)
+    ref = ScalParC(3, InductionConfig(max_depth=6), machine=None).fit(ds)
+    got = ScalParC(3, _stream_cfg(stream_chunk_records=chunk),
+                   machine=None).fit_stream(ds)
+    assert_trees_equal(ref.tree.root, got.tree.root, f"chunk={chunk}")
+
+
+def test_stream_prefix_matches_batch_on_prefix():
+    """Streaming a prefix of the record stream equals batch-fitting that
+    prefix — the ISSUE's prefix-differential pin."""
+    ds = paper_dataset(2400, "F5", seed=11)
+    prefix = ds.take(np.arange(1200))
+    batch = ScalParC(4, InductionConfig(max_depth=6),
+                     machine=None).fit(prefix)
+    stream = ScalParC(4, _stream_cfg(), machine=None).fit_stream(prefix)
+    assert_trees_equal(batch.tree.root, stream.tree.root, "on prefix")
+
+
+def test_stream_is_processor_count_independent():
+    ds = paper_dataset(1500, "F2", seed=5)
+    one = ScalParC(1, _stream_cfg(), machine=None).fit_stream(ds)
+    four = ScalParC(4, _stream_cfg(), machine=None).fit_stream(ds)
+    assert_trees_equal(one.tree.root, four.tree.root, "p=1 vs p=4")
+
+
+def test_traced_stream_passes_conformance():
+    """Every rank must issue the identical Stream.* collective sequence
+    (trace=True auto-checks and raises on divergence)."""
+    ds = paper_dataset(1200, "F5", seed=9)
+    result = ScalParC(4, _stream_cfg(), machine=None).fit_stream(
+        ds, trace=True)
+    assert sum(1 for _ in result.tree.leaves()) > 1
+
+
+def test_priced_stream_attributes_stream_phases():
+    ds = paper_dataset(1200, "F2", seed=2)
+    result = ScalParC(4, _stream_cfg()).fit_stream(ds)
+    assert result.stats is not None
+    assert result.stats.parallel_time > 0
+
+
+# ----------------------------------------------------------------------
+# epoch cuts: kill, resume, elasticity, partial_fit
+# ----------------------------------------------------------------------
+
+
+def test_midstream_kill_and_resume_matches_one_shot(tmp_path):
+    ds = paper_dataset(2000, "F5", seed=7)
+    cfg = _stream_cfg()
+    one_shot = ScalParC(4, cfg, machine=None).fit_stream(ds)
+
+    clf = ScalParC(4, cfg, machine=None)
+    killed = clf.fit_stream(ds, checkpoint=CheckpointConfig(
+        dir=str(tmp_path)), max_epochs=3)
+    # the killed fit stopped at a sealed cut: frontier open, not final
+    assert sum(1 for _ in killed.tree.leaves()) < \
+        sum(1 for _ in one_shot.tree.leaves())
+    resumed = clf.fit_stream(ds, checkpoint=CheckpointConfig(
+        dir=str(tmp_path), resume=True))
+    assert_trees_equal(one_shot.tree.root, resumed.tree.root,
+                       "kill at epoch 3 + resume")
+
+
+def test_resume_on_different_world_size(tmp_path):
+    """Retained records re-block contiguously on p → p′ resume; the
+    continuation is still bit-identical."""
+    ds = paper_dataset(2000, "F5", seed=7)
+    cfg = _stream_cfg()
+    one_shot = ScalParC(4, cfg, machine=None).fit_stream(ds)
+    ScalParC(4, cfg, machine=None).fit_stream(
+        ds, checkpoint=CheckpointConfig(dir=str(tmp_path)), max_epochs=3)
+    resumed = ScalParC(3, cfg, machine=None).fit_stream(
+        ds, checkpoint=CheckpointConfig(dir=str(tmp_path), resume=True))
+    assert_trees_equal(one_shot.tree.root, resumed.tree.root,
+                       "resume on 3 ranks of a 4-rank cut")
+
+
+def test_partial_fit_segments_match_one_shot(tmp_path):
+    ds = paper_dataset(2000, "F5", seed=7)
+    cfg = _stream_cfg()
+    one_shot = ScalParC(4, cfg, machine=None).fit_stream(ds)
+
+    clf = ScalParC(4, cfg, machine=None)
+    clf.partial_fit(ds.take(np.arange(0, 800)), checkpoint=str(tmp_path))
+    clf.partial_fit(ds.take(np.arange(800, 2000)), checkpoint=str(tmp_path))
+    # finalize the accumulated stream: resume with nothing left to ingest
+    final = clf.fit_stream(ds.take(np.arange(800, 2000)),
+                           checkpoint=CheckpointConfig(dir=str(tmp_path),
+                                                       resume=True))
+    assert_trees_equal(one_shot.tree.root, final.tree.root,
+                       "two partial_fit segments + finalize")
+
+
+def test_partial_fit_requires_checkpoint():
+    ds = paper_dataset(300, "F2", seed=1)
+    with pytest.raises(ValueError, match="checkpoint"):
+        ScalParC(2, _stream_cfg(), machine=None).partial_fit(ds)
+
+
+def test_resume_rejects_batch_checkpoint(tmp_path):
+    """A streaming resume must refuse a cut written by the batch driver."""
+    ds = paper_dataset(600, "F2", seed=1)
+    ScalParC(2, InductionConfig(max_depth=6), machine=None).fit(
+        ds, checkpoint=CheckpointConfig(dir=str(tmp_path)))
+    with pytest.raises(Exception) as err:
+        ScalParC(2, _stream_cfg(), machine=None).fit_stream(
+            ds, checkpoint=CheckpointConfig(dir=str(tmp_path), resume=True))
+    assert "streaming" in str(err.getrepr(style="short")).lower()
+
+
+def test_resume_rejects_different_stream_settings(tmp_path):
+    ds = paper_dataset(900, "F2", seed=1)
+    ScalParC(2, _stream_cfg(stream_chunk_records=300), machine=None)\
+        .fit_stream(ds, checkpoint=CheckpointConfig(dir=str(tmp_path)),
+                    max_epochs=1)
+    with pytest.raises(Exception) as err:
+        ScalParC(2, _stream_cfg(stream_chunk_records=200), machine=None)\
+            .fit_stream(ds, checkpoint=CheckpointConfig(dir=str(tmp_path),
+                                                        resume=True))
+    assert "settings" in str(err.getrepr(style="short")).lower()
+
+
+# ----------------------------------------------------------------------
+# lossy sketches and eager growth: graceful degradation
+# ----------------------------------------------------------------------
+
+
+def test_lossy_sketch_still_classifies_well():
+    ds = paper_dataset(2000, "F5", seed=7)
+    cfg = _stream_cfg(sketch_size=16)
+    tree = ScalParC(4, cfg, machine=None).fit_stream(ds).tree
+    accuracy = float((tree.predict(ds) == ds.labels).mean())
+    assert accuracy > 0.80
+
+
+def test_eager_growth_splits_before_end_of_stream(tmp_path):
+    """With a grow threshold, the frontier must already hold real splits
+    at a mid-stream cut (growth is no longer finalize-only)."""
+    ds = paper_dataset(2000, "F5", seed=7)
+    cfg = _stream_cfg(stream_grow_records=300, sketch_size=64)
+    clf = ScalParC(4, cfg, machine=None)
+    killed = clf.fit_stream(ds, checkpoint=CheckpointConfig(
+        dir=str(tmp_path)), max_epochs=3)
+    assert sum(1 for _ in killed.tree.leaves()) > 1
+    resumed = clf.fit_stream(ds, checkpoint=CheckpointConfig(
+        dir=str(tmp_path), resume=True))
+    accuracy = float((resumed.tree.predict(ds) == ds.labels).mean())
+    assert accuracy > 0.80
+
+
+# ----------------------------------------------------------------------
+# config plumbing and env parity
+# ----------------------------------------------------------------------
+
+
+def test_stream_knob_env_parity(monkeypatch):
+    monkeypatch.setenv(STREAM_CHUNK_ENV, "777")
+    monkeypatch.setenv(SKETCH_SIZE_ENV, "99")
+    cfg = InductionConfig()
+    assert cfg.resolved_stream_chunk_records() == 777
+    assert cfg.resolved_sketch_size() == 99
+    # explicit fields always win over the environment
+    cfg = InductionConfig(stream_chunk_records=123, sketch_size=64)
+    assert cfg.resolved_stream_chunk_records() == 123
+    assert cfg.resolved_sketch_size() == 64
+
+
+@pytest.mark.parametrize("bad", [
+    {"stream_chunk_records": 0},
+    {"sketch_size": 4},
+    {"stream_grow_records": -1},
+    {"stream_reopen_delta": 1.5},
+])
+def test_stream_knob_validation(bad):
+    with pytest.raises(ValueError):
+        InductionConfig(**bad)
